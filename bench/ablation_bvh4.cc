@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Ablation: binary BVH vs BVH4 traversal in BVH-NN.
+ *
+ * Section VI-E: "the BVH-NN implementation used a binary BVH tree.
+ * Thus only two child node boxes were traversed per thread at a time,
+ * and the application did not fully utilize the ray-box test hardware.
+ * A BVH4 tree would likely have better performance in our unit for
+ * this reason." This bench implements the hypothesis: the same
+ * queries run over the paper's binary tree and over the collapsed
+ * 4-wide tree, both HSU-accelerated, against the common non-RT
+ * baseline.
+ */
+
+#include "bench_common.hh"
+#include "search/bvhnn.hh"
+#include "sim/gpu.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    const GpuConfig cfg = bench::defaultGpu();
+    GpuConfig base_cfg = cfg;
+    base_cfg.rtUnitEnabled = false;
+
+    Table t("Ablation: BVH-NN binary vs BVH4 traversal (HSU speedup "
+            "over non-RT baseline)",
+            {"Dataset", "binary", "BVH4", "BVH4 box tests / binary"});
+
+    for (const DatasetId id : datasetsForAlgo(Algo::Bvhnn)) {
+        const DatasetInfo &info = datasetInfo(id);
+        const RunnerOptions opts = bench::benchOptions(info);
+        const PointSet points = generatePoints(info);
+        const PointSet queries = generateQueries(info,
+                                                 opts.pointQueries);
+        const float radius = pickRadius(points);
+        const Lbvh bvh = Lbvh::buildFromPoints(points, radius);
+
+        BvhnnKernel binary(points, bvh, BvhnnConfig{radius, false});
+        BvhnnKernel wide(points, bvh, BvhnnConfig{radius, true});
+
+        const auto base_run =
+            binary.run(queries, KernelVariant::Baseline);
+        const auto bin_run = binary.run(queries, KernelVariant::Hsu);
+        const auto wide_run = wide.run(queries, KernelVariant::Hsu);
+
+        // Results must agree between tree shapes.
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            if (bin_run.results[q].index != wide_run.results[q].index) {
+                std::fprintf(stderr, "BVH4 result mismatch (q=%zu)\n",
+                             q);
+                return 1;
+            }
+        }
+
+        StatGroup sb, s2, s4;
+        const RunResult base =
+            simulateKernel(base_cfg, base_run.trace, sb);
+        const RunResult bin = simulateKernel(cfg, bin_run.trace, s2);
+        const RunResult w4 = simulateKernel(cfg, wide_run.trace, s4);
+
+        t.addRow({workloadLabel(Algo::Bvhnn, info),
+                  Table::num(static_cast<double>(base.cycles) /
+                                 static_cast<double>(bin.cycles),
+                             3),
+                  Table::num(static_cast<double>(base.cycles) /
+                                 static_cast<double>(w4.cycles),
+                             3),
+                  Table::num(static_cast<double>(wide_run.boxTests) /
+                                 static_cast<double>(bin_run.boxTests),
+                             3)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation: LBVH (fast Morton build) vs binned-SAH BVH quality.
+ *
+ * Section VI-E: "Our BVH-NN implementation used a BVH construction
+ * algorithm known for its fast construction time but not for its
+ * quality [Karras 2012] ... A more optimized BVH that uses surface
+ * area heuristic to determine partitioning would further improve
+ * performance." This bench builds both trees over the 3-D datasets and
+ * compares SAH cost, traversal work, and end-to-end HSU speedup.
+ */
+
+#include "bench_common.hh"
+#include "search/bvhnn.hh"
+#include "sim/gpu.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    const GpuConfig cfg = bench::defaultGpu();
+    GpuConfig base_cfg = cfg;
+    base_cfg.rtUnitEnabled = false;
+
+    Table t("Ablation: Morton LBVH vs binned-SAH BVH (BVH-NN, HSU)",
+            {"Dataset", "SAH cost (LBVH)", "SAH cost (SAH)",
+             "box tests ratio", "speedup LBVH", "speedup SAH"});
+
+    for (const DatasetId id : datasetsForAlgo(Algo::Bvhnn)) {
+        const DatasetInfo &info = datasetInfo(id);
+        const RunnerOptions opts = bench::benchOptions(info);
+        const PointSet points = generatePoints(info);
+        const PointSet queries =
+            generateQueries(info, opts.pointQueries);
+        const float radius = pickRadius(points);
+
+        const Lbvh morton = Lbvh::buildFromPoints(points, radius);
+        const Lbvh sah = Lbvh::buildSahFromPoints(points, radius);
+
+        BvhnnKernel morton_kernel(points, morton, BvhnnConfig{radius});
+        BvhnnKernel sah_kernel(points, sah, BvhnnConfig{radius});
+
+        const auto base_run =
+            morton_kernel.run(queries, KernelVariant::Baseline);
+        const auto morton_run =
+            morton_kernel.run(queries, KernelVariant::Hsu);
+        const auto sah_run =
+            sah_kernel.run(queries, KernelVariant::Hsu);
+
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            if (morton_run.results[q].index !=
+                sah_run.results[q].index) {
+                std::fprintf(stderr, "SAH result mismatch (q=%zu)\n",
+                             q);
+                return 1;
+            }
+        }
+
+        StatGroup sb, sm, ss;
+        const RunResult base =
+            simulateKernel(base_cfg, base_run.trace, sb);
+        const RunResult mr =
+            simulateKernel(cfg, morton_run.trace, sm);
+        const RunResult sr = simulateKernel(cfg, sah_run.trace, ss);
+
+        t.addRow({workloadLabel(Algo::Bvhnn, info),
+                  Table::num(morton.sahCost(), 1),
+                  Table::num(sah.sahCost(), 1),
+                  Table::num(static_cast<double>(sah_run.boxTests) /
+                                 static_cast<double>(
+                                     morton_run.boxTests),
+                             3),
+                  Table::num(static_cast<double>(base.cycles) /
+                                 static_cast<double>(mr.cycles),
+                             3),
+                  Table::num(static_cast<double>(base.cycles) /
+                                 static_cast<double>(sr.cycles),
+                             3)});
+    }
+    t.print(std::cout);
+    return 0;
+}

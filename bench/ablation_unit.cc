@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: the two RT-unit design choices DESIGN.md calls out —
+ * CISC fetch line-merging and warp-scheduler policy — evaluated on one
+ * representative workload per algorithm class.
+ */
+
+#include "bench_common.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    const std::pair<Algo, DatasetId> cases[] = {
+        {Algo::Ggnn, DatasetId::Sift10k},
+        {Algo::Bvhnn, DatasetId::Random10k},
+        {Algo::Btree, DatasetId::BTree10k},
+    };
+
+    Table t("Ablation: fetch merging and scheduler policy (HSU speedup "
+            "over the matching non-RT baseline)",
+            {"Workload", "GTO+merge (default)", "GTO, no merge",
+             "RR+merge"});
+
+    for (const auto &[algo, id] : cases) {
+        const DatasetInfo &info = datasetInfo(id);
+        const RunnerOptions opts = bench::benchOptions(info);
+
+        StatGroup sb;
+        const RunResult base = runBaseOnly(algo, id, bench::defaultGpu(),
+                                           opts, sb);
+        auto speedup_with = [&](GpuConfig cfg) {
+            StatGroup s;
+            const RunResult r = runHsuOnly(algo, id, cfg, opts, s);
+            return static_cast<double>(base.cycles) /
+                   static_cast<double>(r.cycles);
+        };
+
+        GpuConfig dflt = bench::defaultGpu();
+        GpuConfig no_merge = dflt;
+        no_merge.rtFetchMerging = false;
+        GpuConfig rr = dflt;
+        rr.scheduler = SchedulerPolicy::RoundRobin;
+
+        t.addRow({workloadLabel(algo, info),
+                  Table::num(speedup_with(dflt), 3),
+                  Table::num(speedup_with(no_merge), 3),
+                  Table::num(speedup_with(rr), 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}

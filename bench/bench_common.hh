@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries.
+ *
+ * Every bench prints its reproduced rows through hsu::Table so output
+ * is uniform and machine-parsable. Set HSU_QUICK=1 to shrink query
+ * counts ~4x for a fast smoke pass.
+ */
+
+#ifndef HSU_BENCH_BENCH_COMMON_HH
+#define HSU_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "search/runner.hh"
+
+namespace hsu::bench
+{
+
+/** The HSU-enabled GPU configuration every experiment runs under
+ *  (Table III, with the SM count scaled as documented in DESIGN.md). */
+inline GpuConfig
+defaultGpu()
+{
+    GpuConfig cfg;
+    cfg.numSms = 4;
+    cfg.finalize();
+    return cfg;
+}
+
+/** Per-dataset runner options honoring HSU_QUICK. */
+inline RunnerOptions
+benchOptions(const DatasetInfo &info)
+{
+    return optionsFor(info, quickScale());
+}
+
+/** The (algo, dataset) pairs of the paper's evaluation, Fig 9 order. */
+inline std::vector<std::pair<Algo, DatasetId>>
+allWorkloads()
+{
+    std::vector<std::pair<Algo, DatasetId>> out;
+    for (const Algo algo :
+         {Algo::Ggnn, Algo::Flann, Algo::Bvhnn, Algo::Btree}) {
+        for (const DatasetId id : datasetsForAlgo(algo))
+            out.emplace_back(algo, id);
+    }
+    return out;
+}
+
+/** Geometric-mean helper for summary rows. */
+inline double
+geomean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double v : vals)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(vals.size()));
+}
+
+} // namespace hsu::bench
+
+#endif // HSU_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 10 reproduction: GGNN speedup at different datapath widths.
+ * The legend widths refer to the Euclidean operating mode; the angular
+ * width is architecturally half. Wider datapaths need fewer multi-beat
+ * instructions per distance (lower latency), with diminishing returns
+ * and occasional regressions from L1 contention (Section VI-H).
+ */
+
+#include "bench_common.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    const unsigned widths[] = {4, 8, 16, 32};
+    Table t("Fig 10: GGNN speedup vs non-RT baseline at datapath widths",
+            {"Dataset", "w=4", "w=8", "w=16", "w=32"});
+
+    for (const DatasetId id : datasetsForAlgo(Algo::Ggnn)) {
+        const DatasetInfo &info = datasetInfo(id);
+        const RunnerOptions opts = bench::benchOptions(info);
+        StatGroup base_stats;
+        const RunResult base = runBaseOnly(Algo::Ggnn, id,
+                                           bench::defaultGpu(), opts,
+                                           base_stats);
+        std::vector<std::string> row{info.abbr};
+        for (const unsigned w : widths) {
+            GpuConfig cfg = bench::defaultGpu();
+            cfg.datapath.euclidWidth = w;
+            StatGroup stats;
+            const RunResult hsu =
+                runHsuOnly(Algo::Ggnn, id, cfg, opts, stats);
+            row.push_back(Table::num(
+                static_cast<double>(base.cycles) /
+                    static_cast<double>(hsu.cycles),
+                3));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+    return 0;
+}

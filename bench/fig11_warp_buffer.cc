@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 11 reproduction: HSU speedup at different warp buffer sizes
+ * (1/4/8/16 entries) for the three hierarchical nearest-neighbor
+ * algorithms. One entry permits no memory-level parallelism and is
+ * worse than the baseline; 8 is the paper's sweet spot; 16 can regress
+ * on high-dimensional datasets through MSHR pressure (Section VI-I).
+ */
+
+#include "bench_common.hh"
+
+using namespace hsu;
+
+namespace
+{
+
+void
+sweep(Algo algo, const char *title)
+{
+    const unsigned sizes[] = {1, 4, 8, 16};
+    Table t(title, {"Dataset", "wb=1", "wb=4", "wb=8", "wb=16"});
+    for (const DatasetId id : datasetsForAlgo(algo)) {
+        const DatasetInfo &info = datasetInfo(id);
+        const RunnerOptions opts = bench::benchOptions(info);
+        StatGroup base_stats;
+        const RunResult base = runBaseOnly(algo, id, bench::defaultGpu(),
+                                           opts, base_stats);
+        std::vector<std::string> row{workloadLabel(algo, info)};
+        for (const unsigned wb : sizes) {
+            GpuConfig cfg = bench::defaultGpu();
+            cfg.warpBufferSize = wb;
+            StatGroup stats;
+            const RunResult hsu = runHsuOnly(algo, id, cfg, opts, stats);
+            row.push_back(Table::num(
+                static_cast<double>(base.cycles) /
+                    static_cast<double>(hsu.cycles),
+                3));
+        }
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    sweep(Algo::Ggnn, "Fig 11a: GGNN speedup vs warp buffer size");
+    sweep(Algo::Bvhnn, "Fig 11b: BVH-NN speedup vs warp buffer size");
+    sweep(Algo::Flann, "Fig 11c: FLANN speedup vs warp buffer size");
+    return 0;
+}

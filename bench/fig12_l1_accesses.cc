@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 12 reproduction: HSU L1D cache accesses normalized to the
+ * non-RT baseline. The CISC node fetch coalesces what the baseline
+ * issues as several sequential loads; BVH-NN shows the effect most
+ * prominently (Section VI-J).
+ */
+
+#include "bench_common.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    const GpuConfig gpu = bench::defaultGpu();
+    Table t("Fig 12: HSU L1D accesses normalized to non-RT baseline",
+            {"Workload", "Base accesses", "HSU accesses", "Normalized"});
+    for (const auto &[algo, id] : bench::allWorkloads()) {
+        const DatasetInfo &info = datasetInfo(id);
+        const WorkloadResult r =
+            runWorkload(algo, id, gpu, bench::benchOptions(info));
+        const double norm = r.base.l1Accesses > 0
+            ? r.hsu.l1Accesses / r.base.l1Accesses
+            : 0.0;
+        t.addRow({r.label, Table::num(r.base.l1Accesses, 0),
+                  Table::num(r.hsu.l1Accesses, 0), Table::num(norm, 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}

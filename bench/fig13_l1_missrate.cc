@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 13 reproduction: L1 data cache miss rate for baseline and HSU
+ * runs. Accesses that hit on a pending MSHR entry count as hits, so
+ * workloads whose accesses the HSU coalesces away can show a *higher*
+ * miss rate on fewer accesses (Section VI-J).
+ */
+
+#include "bench_common.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    const GpuConfig gpu = bench::defaultGpu();
+    Table t("Fig 13: L1D miss rate (MSHR hits count as hits)",
+            {"Workload", "Base miss rate", "HSU miss rate"});
+    for (const auto &[algo, id] : bench::allWorkloads()) {
+        const DatasetInfo &info = datasetInfo(id);
+        const WorkloadResult r =
+            runWorkload(algo, id, gpu, bench::benchOptions(info));
+        t.addRow({r.label, Table::pct(r.base.l1MissRate()),
+                  Table::pct(r.hsu.l1MissRate())});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Figure 14 reproduction: average DRAM row access locality (accesses
+ * per row activation) under the FR-FCFS memory scheduler, baseline vs
+ * HSU. The CISC fetches reorder traffic slightly but most locality is
+ * already captured by coalescing and the MSHRs (Section VI-J).
+ */
+
+#include "bench_common.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    const GpuConfig gpu = bench::defaultGpu();
+    Table t("Fig 14: DRAM row access locality (FR-FCFS)",
+            {"Workload", "Base acc/activation", "HSU acc/activation"});
+    for (const auto &[algo, id] : bench::allWorkloads()) {
+        const DatasetInfo &info = datasetInfo(id);
+        const WorkloadResult r =
+            runWorkload(algo, id, gpu, bench::benchOptions(info));
+        t.addRow({r.label, Table::num(r.base.dramRowLocality, 2),
+                  Table::num(r.hsu.dramRowLocality, 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 16 reproduction: dynamic power of each operating mode for the
+ * baseline RT datapath and the HSU datapath at 1 GHz. The paper
+ * reports: HSU raises ray-box/ray-tri by ~10/8 mW; Euclid and Angular
+ * cost 79 and 67 mW (Euclid only ~5 mW above the baseline ray-box
+ * mode).
+ */
+
+#include "analysis/datapath_cost.hh"
+#include "bench_common.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    const DatapathInventory base = baselineInventory();
+    const DatapathInventory hsu = hsuInventory();
+
+    Table t("Fig 16: Dynamic power per operating mode (mW at 1 GHz)",
+            {"Mode", "Baseline RT", "HSU"});
+    const DatapathConfig dp;
+    const HsuMode baseline_modes[] = {HsuMode::RayBox, HsuMode::RayTri};
+    for (const HsuMode m : baseline_modes) {
+        t.addRow({toString(m), Table::num(modePower(base, m, dp), 1),
+                  Table::num(modePower(hsu, m, dp, &base), 1)});
+    }
+    for (const HsuMode m :
+         {HsuMode::Euclid, HsuMode::Angular, HsuMode::KeyCompare}) {
+        t.addRow({toString(m), "n/a",
+                  Table::num(modePower(hsu, m, dp, &base), 1)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 7 reproduction: the proportion of a non-RT V100's execution
+ * that consists of operations the HSU could execute (distance tests,
+ * box tests, key compares — including their operand loads). This is the
+ * theoretical ceiling on HSU benefit per workload.
+ */
+
+#include "bench_common.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    const GpuConfig gpu = bench::defaultGpu();
+    Table t("Fig 7: Proportion of baseline execution offloadable to HSU",
+            {"Workload", "Offloadable fraction"});
+    for (const auto &[algo, id] : bench::allWorkloads()) {
+        const DatasetInfo &info = datasetInfo(id);
+        StatGroup stats;
+        const RunResult r = runBaseOnly(algo, id, gpu,
+                                        bench::benchOptions(info), stats);
+        t.addRow({workloadLabel(algo, info),
+                  Table::pct(r.offloadableFraction)});
+    }
+    t.print(std::cout);
+    return 0;
+}

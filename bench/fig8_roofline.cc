@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 8 reproduction: roofline analysis of the HSU. Performance is
+ * HSU instructions completed per cycle per unit (compute bound: 1);
+ * operational intensity is instructions per L2 line accessed (memory
+ * bound: one line per cycle). Euclid instructions fetch 64B and angular
+ * 32B, so intensity > 4 (euclid) or > 8 (angular) indicates inter-
+ * instruction data reuse (Section VI-B).
+ */
+
+#include "analysis/roofline.hh"
+#include "bench_common.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    const GpuConfig gpu = bench::defaultGpu();
+    Table t("Fig 8: HSU roofline",
+            {"Workload", "Ops/L2-line", "Ops/cycle", "Roof",
+             "Utilization"});
+    for (const auto &[algo, id] : bench::allWorkloads()) {
+        const DatasetInfo &info = datasetInfo(id);
+        StatGroup stats;
+        const RunResult r = runHsuOnly(algo, id, gpu,
+                                       bench::benchOptions(info), stats);
+        const RooflinePoint p =
+            rooflinePoint(workloadLabel(algo, info), r, gpu.numSms);
+        t.addRow({p.label, Table::num(p.intensity, 3),
+                  Table::num(p.performance, 4), Table::num(p.bound(), 3),
+                  Table::pct(p.utilization())});
+    }
+    t.print(std::cout);
+    return 0;
+}

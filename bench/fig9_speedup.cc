@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 9 reproduction: simulated speedup with HSU over a baseline GPU
+ * without ray-tracing hardware, for all four search algorithms across
+ * their datasets. The paper reports average improvements of 24.8%
+ * (GGNN), 16.4% (FLANN), 33.9% (BVH-NN), and 13.5% (B+tree).
+ */
+
+#include <map>
+
+#include "bench_common.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    const GpuConfig gpu = bench::defaultGpu();
+    Table t("Fig 9: Speedup with HSU over non-RT baseline",
+            {"Workload", "Base cycles", "HSU cycles", "Speedup"});
+    std::map<Algo, std::vector<double>> per_algo;
+
+    for (const auto &[algo, id] : bench::allWorkloads()) {
+        const DatasetInfo &info = datasetInfo(id);
+        const WorkloadResult r =
+            runWorkload(algo, id, gpu, bench::benchOptions(info));
+        t.addRow({r.label, std::to_string(r.base.cycles),
+                  std::to_string(r.hsu.cycles),
+                  Table::num(r.speedup(), 3)});
+        per_algo[algo].push_back(r.speedup());
+    }
+    t.print(std::cout);
+
+    Table s("Fig 9 summary: average speedup per algorithm (paper: GGNN "
+            "1.248, FLANN 1.164, BVH-NN 1.339, B+ 1.135)",
+            {"Algorithm", "Geomean speedup"});
+    for (const auto &[algo, vals] : per_algo) {
+        s.addRow({toString(algo),
+                  Table::num(bench::geomean(vals), 3)});
+    }
+    s.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional HSU operations —
+ * the host-side cost of the library's device intrinsics and geometry
+ * kernels (not simulated-cycle measurements).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "hsu/device_api.hh"
+#include "hsu/functional.hh"
+
+namespace
+{
+
+using namespace hsu;
+
+std::vector<float>
+randomVec(unsigned n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = rng.gaussian();
+    return v;
+}
+
+void
+BM_EuclidDist(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    const auto a = randomVec(n, 1), b = randomVec(n, 2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(euclidDist(a.data(), b.data(), n));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EuclidDist)->Arg(3)->Arg(96)->Arg(128)->Arg(784)->Arg(960);
+
+void
+BM_AngularDist(benchmark::State &state)
+{
+    const auto n = static_cast<unsigned>(state.range(0));
+    const auto a = randomVec(n, 3), b = randomVec(n, 4);
+    const float qn = norm2(a.data(), n);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(angularDist(a.data(), b.data(), n, qn));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AngularDist)->Arg(65)->Arg(96)->Arg(200)->Arg(256);
+
+void
+BM_KeyCompare(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<std::uint32_t> seps(36);
+    std::uint32_t cur = 0;
+    for (auto &s : seps)
+        s = (cur += 1 + static_cast<std::uint32_t>(rng.nextBounded(9)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            keyCompare(cur / 2, seps.data(),
+                       static_cast<unsigned>(seps.size())));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyCompare);
+
+void
+BM_RayBoxIntersect(benchmark::State &state)
+{
+    Rng rng(6);
+    PreparedRay pr(Ray{{0, 0, 0}, normalize(Vec3{1, 0.5f, 0.25f})});
+    BoxNode4 node;
+    for (unsigned i = 0; i < 4; ++i) {
+        const Vec3 c{rng.uniform(-5, 5), rng.uniform(-5, 5),
+                     rng.uniform(-5, 5)};
+        node.bounds[i] = Aabb::centered(c, 1.0f);
+        node.child[i] = i;
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rayIntersectBox(pr, node));
+    }
+    state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_RayBoxIntersect);
+
+void
+BM_RayTriangleIntersect(benchmark::State &state)
+{
+    PreparedRay pr(Ray{{0, 0, -5}, {0, 0, 1}});
+    TriNode node;
+    node.tri = Triangle{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}, 7};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rayIntersectTri(pr, node));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RayTriangleIntersect);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the search-structure library:
+ * build and query costs of the LBVH, k-d tree, HNSW graph, and B+tree.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "structures/btree.hh"
+#include "structures/graph.hh"
+#include "structures/kdtree.hh"
+#include "structures/lbvh.hh"
+#include "workloads/datasets.hh"
+
+namespace
+{
+
+using namespace hsu;
+
+const PointSet &
+cloud3d()
+{
+    static const PointSet pts =
+        generatePoints(datasetInfo(DatasetId::Random10k));
+    return pts;
+}
+
+void
+BM_LbvhBuild(benchmark::State &state)
+{
+    const PointSet &pts = cloud3d();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Lbvh::buildFromPoints(pts, 0.05f));
+    }
+    state.SetItemsProcessed(state.iterations() * pts.size());
+}
+BENCHMARK(BM_LbvhBuild);
+
+void
+BM_KdTreeBuild(benchmark::State &state)
+{
+    const PointSet &pts = cloud3d();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(KdTree::build(pts, 16));
+    }
+    state.SetItemsProcessed(state.iterations() * pts.size());
+}
+BENCHMARK(BM_KdTreeBuild);
+
+void
+BM_KdTreeKnn(benchmark::State &state)
+{
+    const PointSet &pts = cloud3d();
+    static const KdTree tree = KdTree::build(pts, 16);
+    const PointSet queries =
+        generateQueries(datasetInfo(DatasetId::Random10k), 256);
+    std::size_t q = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.knn(queries[q % queries.size()], 5));
+        ++q;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KdTreeKnn);
+
+void
+BM_HnswSearch(benchmark::State &state)
+{
+    const auto &info = datasetInfo(DatasetId::Sift10k);
+    static const PointSet pts = generatePoints(info);
+    static const HnswGraph graph =
+        HnswGraph::build(pts, info.metric);
+    const PointSet queries = generateQueries(info, 64);
+    std::size_t q = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            graph.knn(queries[q % queries.size()], 10));
+        ++q;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HnswSearch);
+
+void
+BM_BtreeLookup(benchmark::State &state)
+{
+    const auto &info = datasetInfo(DatasetId::BTree10k);
+    const auto keys = generateKeys(info);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        pairs.emplace_back(keys[i], static_cast<std::uint32_t>(i));
+    static const BTree tree = BTree::build(std::move(pairs));
+    const auto probes = generateKeyQueries(info, 1024);
+    std::size_t q = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.lookup(probes[q % probes.size()]));
+        ++q;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtreeLookup);
+
+} // namespace
+
+BENCHMARK_MAIN();

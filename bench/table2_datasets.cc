@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table II reproduction: the evaluation dataset registry, with both the
+ * paper's sizes and the scaled synthetic stand-ins used here.
+ */
+
+#include "bench_common.hh"
+#include "workloads/datasets.hh"
+
+using namespace hsu;
+
+int
+main()
+{
+    Table t("Table II: Evaluation Datasets",
+            {"Dataset", "Abbr", "Dim", "#Points(paper)", "#Points(sim)",
+             "Dist", "Kind"});
+    for (const auto &info : allDatasets()) {
+        const char *dist = info.kind == DatasetKind::Keys
+            ? "N/A"
+            : (info.metric == Metric::Angular ? "A" : "E");
+        const char *kind = info.kind == DatasetKind::HighDim
+            ? "high-dim"
+            : (info.kind == DatasetKind::Point3d ? "3-D" : "keys");
+        t.addRow({info.paperName, info.abbr, std::to_string(info.dim),
+                  std::to_string(info.paperPoints),
+                  std::to_string(info.simPoints), dist, kind});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,303 @@
+#include "analysis/datapath_cost.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+std::string
+toString(FuClass c)
+{
+    switch (c) {
+      case FuClass::FpAdd:
+        return "fp-adders";
+      case FuClass::FpMul:
+        return "fp-multipliers";
+      case FuClass::FpCmp:
+        return "comparators";
+      case FuClass::PipeReg:
+        return "pipeline-registers";
+      case FuClass::Control:
+        return "control-mux";
+    }
+    hsu_panic("unknown FU class");
+}
+
+double
+DatapathInventory::total(FuClass c) const
+{
+    double sum = 0.0;
+    for (const auto &s : stages)
+        sum += s.count[static_cast<unsigned>(c)];
+    return sum;
+}
+
+namespace
+{
+
+StageInventory
+stage(double add, double mul, double cmp, double reg_bits, double ctrl)
+{
+    StageInventory s;
+    s.count[static_cast<unsigned>(FuClass::FpAdd)] = add;
+    s.count[static_cast<unsigned>(FuClass::FpMul)] = mul;
+    s.count[static_cast<unsigned>(FuClass::FpCmp)] = cmp;
+    s.count[static_cast<unsigned>(FuClass::PipeReg)] = reg_bits;
+    s.count[static_cast<unsigned>(FuClass::Control)] = ctrl;
+    return s;
+}
+
+} // namespace
+
+DatapathInventory
+baselineInventory()
+{
+    // Unified ray-box (4-wide) / ray-triangle pipeline, Fig 5/6.
+    // Stage regs carry ray constants + node payload + partials for the
+    // two baseline operating modes.
+    DatapathInventory inv;
+    inv.name = "baseline-rt";
+    inv.stages = {
+        // translate to ray origin: 4 boxes x 6 planes subtract
+        stage(24, 0, 0, 1600, 2),
+        // interval / shear-scale multiplies
+        stage(4, 24, 0, 1600, 2),
+        // tmin/tmax + scaled barycentrics; 36-wide comparator bank
+        // (the one KEY_COMPARE reuses, Section IV-C)
+        stage(6, 6, 36, 1400, 3),
+        // hit determination + determinant
+        stage(4, 3, 12, 1200, 2),
+        // closest-hit sort begins + hit-distance products
+        stage(2, 3, 6, 1000, 2),
+        stage(2, 1, 5, 900, 1),
+        stage(1, 1, 4, 800, 1),
+        // result assembly
+        stage(1, 0, 2, 700, 1),
+        stage(1, 0, 1, 600, 1),
+    };
+    return inv;
+}
+
+DatapathInventory
+hsuInventory(const DatapathConfig &dp)
+{
+    // Start from the baseline and apply Section IV-C: "Only two
+    // additional adders are required in stage 3, and one in stages 5,
+    // 8 and 9". The dominant cost is the per-mode pipeline registers
+    // (three extra operating modes; the euclid mode alone latches a
+    // 16-lane operand + accumulator per stage) and the wider mode
+    // decode / result muxing.
+    DatapathInventory inv = baselineInventory();
+    inv.name = "hsu";
+
+    auto &add3 = inv.stages[2].count[static_cast<unsigned>(
+        FuClass::FpAdd)];
+    add3 += 2;
+    inv.stages[4].count[static_cast<unsigned>(FuClass::FpAdd)] += 1;
+    inv.stages[7].count[static_cast<unsigned>(FuClass::FpAdd)] += 1;
+    inv.stages[8].count[static_cast<unsigned>(FuClass::FpAdd)] += 1;
+
+    // Per-mode stage registers: euclid operands are euclidWidth lanes
+    // of 32b (query chunk + candidate chunk early, partial sums later),
+    // angular holds two accumulators, key-compare a 36-bit vector.
+    // The prototype is deliberately unoptimized (Section VI-K): it
+    // keeps INDIVIDUAL full-width registers at every stage for each
+    // operating mode rather than multiplexing them, so the new modes
+    // cost their full operand width at all nine stages.
+    const double euclid_bits = dp.euclidWidth * 32.0 * 2.0;
+    const double angular_bits = dp.angularWidth() * 32.0 * 2.0 + 64.0;
+    const double key_bits = dp.keyCompareWidth + 32.0;
+    for (unsigned s = 0; s < kNumStages; ++s) {
+        inv.stages[s].count[static_cast<unsigned>(FuClass::PipeReg)] +=
+            euclid_bits + angular_bits + key_bits;
+        // Extra mode decode, per-FU enables, per-stage rounding logic
+        // and result muxing for three more modes.
+        inv.stages[s].count[static_cast<unsigned>(FuClass::Control)] +=
+            3.2;
+    }
+    return inv;
+}
+
+double
+fuArea(FuClass c)
+{
+    // um^2 per unit in a 15nm-class standard-cell library
+    // (HardFloat-style single-precision FUs, non-area-optimized as the
+    // paper notes).
+    switch (c) {
+      case FuClass::FpAdd:
+        return 620.0;
+      case FuClass::FpMul:
+        return 2200.0;
+      case FuClass::FpCmp:
+        return 120.0;
+      case FuClass::PipeReg:
+        return 1.7; // per bit
+      case FuClass::Control:
+        return 950.0;
+    }
+    hsu_panic("unknown FU class");
+}
+
+double
+fuEnergy(FuClass c)
+{
+    // pJ per activation (per toggled bit for PipeReg).
+    switch (c) {
+      case FuClass::FpAdd:
+        return 0.9;
+      case FuClass::FpMul:
+        return 1.2;
+      case FuClass::FpCmp:
+        return 0.15;
+      case FuClass::PipeReg:
+        return 0.0015;
+      case FuClass::Control:
+        return 0.8;
+    }
+    hsu_panic("unknown FU class");
+}
+
+double
+totalArea(const DatapathInventory &inv)
+{
+    double sum = 0.0;
+    for (unsigned c = 0; c < kNumFuClasses; ++c)
+        sum += inv.total(static_cast<FuClass>(c)) *
+               fuArea(static_cast<FuClass>(c));
+    return sum;
+}
+
+std::array<double, kNumFuClasses>
+areaByClass(const DatapathInventory &inv)
+{
+    std::array<double, kNumFuClasses> out{};
+    for (unsigned c = 0; c < kNumFuClasses; ++c)
+        out[c] = inv.total(static_cast<FuClass>(c)) *
+                 fuArea(static_cast<FuClass>(c));
+    return out;
+}
+
+double
+modeActivity(HsuMode mode, unsigned stage, FuClass c)
+{
+    // Fraction of the class's units a mode exercises per stage,
+    // following the Fig 6 operating-mode columns. Idle FUs are
+    // clock-gated but still leak a little switching (0.08).
+    const double idle = 0.08;
+    switch (c) {
+      case FuClass::FpAdd:
+        switch (mode) {
+          case HsuMode::RayBox:
+            return stage == 0 ? 1.0 : (stage <= 4 ? 0.5 : idle);
+          case HsuMode::RayTri:
+            return stage == 0 ? 0.5 : (stage <= 6 ? 0.7 : 0.3);
+          case HsuMode::Euclid:
+            // 16-wide subtract (s1) + full adder tree + accumulate.
+            return stage == 0 ? 0.7 : (stage >= 2 ? 0.88 : idle);
+          case HsuMode::Angular:
+            return stage == 0 ? idle : (stage >= 2 ? 0.8 : idle);
+          case HsuMode::KeyCompare:
+            return idle;
+        }
+        break;
+      case FuClass::FpMul:
+        switch (mode) {
+          case HsuMode::RayBox:
+            return stage == 1 ? 1.0 : idle;
+          case HsuMode::RayTri:
+            return stage >= 1 && stage <= 4 ? 0.8 : idle;
+          case HsuMode::Euclid:
+            return stage == 1 ? 0.67 : idle; // 16 of 24
+          case HsuMode::Angular:
+            return stage == 1 ? 0.67 : idle; // 2 x 8 of 24
+          case HsuMode::KeyCompare:
+            return idle;
+        }
+        break;
+      case FuClass::FpCmp:
+        switch (mode) {
+          case HsuMode::RayBox:
+            return stage >= 2 && stage <= 6 ? 0.7 : idle;
+          case HsuMode::RayTri:
+            return stage >= 3 && stage <= 5 ? 0.4 : idle;
+          case HsuMode::Euclid:
+          case HsuMode::Angular:
+            return idle;
+          case HsuMode::KeyCompare:
+            return stage == 2 ? 1.0 : idle;
+        }
+        break;
+      case FuClass::PipeReg:
+        // Toggle fraction of the latched bits.
+        switch (mode) {
+          case HsuMode::RayBox:
+            return 0.42;
+          case HsuMode::RayTri:
+            return 0.48;
+          case HsuMode::Euclid:
+            return 0.40;
+          case HsuMode::Angular:
+            return 0.34;
+          case HsuMode::KeyCompare:
+            return 0.15;
+        }
+        break;
+      case FuClass::Control:
+        return 0.8;
+    }
+    return idle;
+}
+
+double
+modePower(const DatapathInventory &inv, HsuMode mode,
+          const DatapathConfig &dp, const DatapathInventory *baseline)
+{
+    // One operation enters per cycle at 1 GHz: mW == pJ/op.
+    // Share of the HSU's added register bits belonging to each mode
+    // (the rest are clock-gated when that mode runs).
+    const double euclid_bits = dp.euclidWidth * 32.0 * 2.0;
+    const double angular_bits = dp.angularWidth() * 32.0 * 2.0 + 64.0;
+    const double key_bits = dp.keyCompareWidth + 32.0;
+    const double extra_bits = euclid_bits + angular_bits + key_bits;
+    double own_share = 0.0;
+    switch (mode) {
+      case HsuMode::Euclid:
+        own_share = euclid_bits / extra_bits;
+        break;
+      case HsuMode::Angular:
+        own_share = angular_bits / extra_bits;
+        break;
+      case HsuMode::KeyCompare:
+        own_share = key_bits / extra_bits;
+        break;
+      default:
+        own_share = 0.0; // ray modes use the baseline registers
+        break;
+    }
+    const double gated = 0.10; // residual toggle of gated additions
+
+    double pj = 0.0;
+    for (unsigned s = 0; s < kNumStages; ++s) {
+        for (unsigned c = 0; c < kNumFuClasses; ++c) {
+            const auto cls = static_cast<FuClass>(c);
+            const double act = modeActivity(mode, s, cls);
+            double count = inv.stages[s].count[c];
+            if (baseline != nullptr &&
+                (cls == FuClass::PipeReg || cls == FuClass::Control)) {
+                const double base_count = baseline->stages[s].count[c];
+                const double extra = count - base_count;
+                pj += base_count * fuEnergy(cls) * act;
+                pj += extra * fuEnergy(cls) *
+                      (own_share * act + (1.0 - own_share) * gated);
+                continue;
+            }
+            pj += count * fuEnergy(cls) * act;
+        }
+    }
+    return pj;
+}
+
+} // namespace hsu

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Functional-unit-level area and dynamic-power model of the unified
+ * single-lane datapath (Figures 15 and 16 of the paper).
+ *
+ * The paper synthesizes Chisel RTL (Berkeley HardFloat FUs, 15nm PDK,
+ * 1 GHz, Cadence Genus). With no EDA flow available we model the
+ * datapath analytically: the per-stage functional-unit inventories are
+ * transcribed from Fig 6 and Section IV-C (HSU adds two adders in
+ * stage 3 and one each in stages 5, 8, 9, plus per-mode pipeline
+ * registers), and each FU class carries a 15nm-class area/energy
+ * constant. The *ratios* the paper reports (total HSU area ~= +37%,
+ * Euclid mode ~= 5 mW above baseline ray-box) are outputs of the
+ * model, not inputs; the absolute scale is set by the FU constants.
+ */
+
+#ifndef HSU_ANALYSIS_DATAPATH_COST_HH
+#define HSU_ANALYSIS_DATAPATH_COST_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "hsu/isa.hh"
+
+namespace hsu
+{
+
+/** Functional-unit classes tracked by the model (Fig 15 categories). */
+enum class FuClass : unsigned
+{
+    FpAdd,     //!< 32-bit FP adders (incl. adder-tree nodes)
+    FpMul,     //!< 32-bit FP multipliers
+    FpCmp,     //!< FP comparators (slab tests, closest-hit sort, keys)
+    PipeReg,   //!< per-stage, per-mode pipeline registers (per bit)
+    Control,   //!< mode decode, FU enables, result muxing (per stage)
+};
+
+constexpr unsigned kNumFuClasses = 5;
+constexpr unsigned kNumStages = 9;
+
+std::string toString(FuClass c);
+
+/** Per-stage inventory: count of each FU class (PipeReg in bits). */
+struct StageInventory
+{
+    std::array<double, kNumFuClasses> count{};
+};
+
+/** A full datapath description. */
+struct DatapathInventory
+{
+    std::string name;
+    std::array<StageInventory, kNumStages> stages{};
+
+    /** Total count of one FU class across stages. */
+    double total(FuClass c) const;
+};
+
+/** The baseline RT datapath (ray-box + ray-triangle only). */
+DatapathInventory baselineInventory();
+
+/** The HSU datapath (adds euclid/angular/key-compare support). */
+DatapathInventory hsuInventory(const DatapathConfig &dp =
+                                   DatapathConfig{});
+
+/** 15nm-class area constants, um^2 per FU (per bit for PipeReg). */
+double fuArea(FuClass c);
+
+/** Dynamic energy per activation, pJ (per bit-toggle for PipeReg). */
+double fuEnergy(FuClass c);
+
+/** Total area of an inventory in um^2. */
+double totalArea(const DatapathInventory &inv);
+
+/** Per-class area breakdown in um^2. */
+std::array<double, kNumFuClasses>
+areaByClass(const DatapathInventory &inv);
+
+/**
+ * Dynamic power (mW at 1 GHz) of one operating mode: the FUs the mode
+ * activates each cycle (Fig 6 rows) times their energy, plus register
+ * toggling. @p inv must support the mode.
+ *
+ * When @p baseline is given (i.e. @p inv is the HSU design), the
+ * registers and control added on top of @p baseline are clock-gated:
+ * only the active mode's own additions toggle; the other modes'
+ * additions idle at a small residual rate.
+ */
+double modePower(const DatapathInventory &inv, HsuMode mode,
+                 const DatapathConfig &dp = DatapathConfig{},
+                 const DatapathInventory *baseline = nullptr);
+
+/** Fraction of each stage's FUs a mode activates (activity factors). */
+double modeActivity(HsuMode mode, unsigned stage, FuClass c);
+
+} // namespace hsu
+
+#endif // HSU_ANALYSIS_DATAPATH_COST_HH

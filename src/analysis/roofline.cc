@@ -1,0 +1,20 @@
+#include "analysis/roofline.hh"
+
+namespace hsu
+{
+
+RooflinePoint
+rooflinePoint(const std::string &label, const RunResult &r,
+              unsigned num_hsu)
+{
+    RooflinePoint p;
+    p.label = label;
+    p.intensity = r.opsPerL2Line();
+    p.performance = r.cycles
+        ? r.hsuCompleted / static_cast<double>(r.cycles) /
+              static_cast<double>(num_hsu ? num_hsu : 1)
+        : 0.0;
+    return p;
+}
+
+} // namespace hsu

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Roofline model for the HSU (Fig 8 / Section VI-B).
+ *
+ * Performance: HSU instructions completed per cycle (compute bound = 1
+ * op/cycle/HSU). Operational intensity: instructions per L2 cache line
+ * accessed (memory bound = 1 line/cycle). A workload's attainable
+ * performance is min(1, intensity * 1).
+ */
+
+#ifndef HSU_ANALYSIS_ROOFLINE_HH
+#define HSU_ANALYSIS_ROOFLINE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/gpu.hh"
+
+namespace hsu
+{
+
+/** One workload's point on the roofline plot. */
+struct RooflinePoint
+{
+    std::string label;
+    double intensity = 0.0;   //!< HSU ops per L2 line accessed
+    double performance = 0.0; //!< HSU ops per cycle (per HSU unit)
+
+    /** The roof at this intensity (compute bound 1 op/cycle, memory
+     *  bound 1 line/cycle). */
+    double
+    bound() const
+    {
+        return intensity < 1.0 ? intensity : 1.0;
+    }
+
+    /** Fraction of the attainable roof achieved. */
+    double
+    utilization() const
+    {
+        const double b = bound();
+        return b > 0.0 ? performance / b : 0.0;
+    }
+};
+
+/** Build a roofline point from an HSU simulation result.
+ *  @p num_hsu normalizes per-unit (one HSU per SM). */
+RooflinePoint rooflinePoint(const std::string &label, const RunResult &r,
+                            unsigned num_hsu);
+
+} // namespace hsu
+
+#endif // HSU_ANALYSIS_ROOFLINE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config); exits.
+ * warn()   — something is approximated or suspicious but survivable.
+ * inform() — normal operating status worth surfacing.
+ */
+
+#ifndef HSU_COMMON_LOGGING_HH
+#define HSU_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hsu
+{
+
+namespace detail
+{
+
+/** Concatenate any streamable arguments into a std::string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+/** Emit a message and abort(); called by the panic() macro. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a message and exit(1); called by the fatal() macro. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a warning to stderr. */
+void warnImpl(const char *file, int line, const std::string &msg);
+
+/** Emit an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace hsu
+
+#define hsu_panic(...)                                                      \
+    ::hsu::detail::panicImpl(__FILE__, __LINE__,                            \
+                             ::hsu::detail::concat(__VA_ARGS__))
+
+#define hsu_fatal(...)                                                      \
+    ::hsu::detail::fatalImpl(__FILE__, __LINE__,                            \
+                             ::hsu::detail::concat(__VA_ARGS__))
+
+#define hsu_warn(...)                                                       \
+    ::hsu::detail::warnImpl(__FILE__, __LINE__,                             \
+                            ::hsu::detail::concat(__VA_ARGS__))
+
+#define hsu_inform(...)                                                     \
+    ::hsu::detail::informImpl(::hsu::detail::concat(__VA_ARGS__))
+
+/** Assert a simulator invariant; compiled in all build types. */
+#define hsu_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            hsu_panic("assertion failed: " #cond " ", ##__VA_ARGS__);       \
+        }                                                                   \
+    } while (0)
+
+#endif // HSU_COMMON_LOGGING_HH

@@ -1,0 +1,115 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace hsu
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+float
+Rng::nextFloat()
+{
+    return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float
+Rng::uniform(float lo, float hi)
+{
+    return lo + (hi - lo) * nextFloat();
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    // Lemire-style rejection-free bounded draw is overkill here; the
+    // simple modulo bias is negligible for bound << 2^64 but we still
+    // reject the tail to keep generated streams unbiased.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+float
+Rng::gaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    float u, v, s;
+    do {
+        u = uniform(-1.0f, 1.0f);
+        v = uniform(-1.0f, 1.0f);
+        s = u * u + v * v;
+    } while (s >= 1.0f || s == 0.0f);
+    const float factor = std::sqrt(-2.0f * std::log(s) / s);
+    spare_ = v * factor;
+    haveSpare_ = true;
+    return u * factor;
+}
+
+float
+Rng::gaussian(float mean, float stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+} // namespace hsu

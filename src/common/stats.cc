@@ -1,0 +1,54 @@
+#include "common/stats.hh"
+
+namespace hsu
+{
+
+Stat &
+StatGroup::scalar(const std::string &name)
+{
+    return stats_[name];
+}
+
+double
+StatGroup::get(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0.0 : it->second.value();
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return stats_.find(name) != stats_.end();
+}
+
+double
+StatGroup::sumPrefix(const std::string &prefix) const
+{
+    double total = 0.0;
+    for (auto it = stats_.lower_bound(prefix); it != stats_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second.value();
+    }
+    return total;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : stats_)
+        kv.second.reset();
+}
+
+std::vector<std::pair<std::string, double>>
+StatGroup::dump() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(stats_.size());
+    for (const auto &kv : stats_)
+        out.emplace_back(kv.first, kv.second.value());
+    return out;
+}
+
+} // namespace hsu

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lightweight named statistics registry.
+ *
+ * Simulator components register scalar counters and distributions in a
+ * StatGroup; experiment harnesses read them back by name to build the
+ * rows of each reproduced table/figure.
+ */
+
+#ifndef HSU_COMMON_STATS_HH
+#define HSU_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hsu
+{
+
+/** A single scalar statistic (counter or accumulator). */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    Stat &operator++() { value_ += 1.0; return *this; }
+    Stat &operator+=(double v) { value_ += v; return *this; }
+
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Hierarchical collection of named statistics.
+ *
+ * Names are dotted paths ("sm0.l1d.accesses"). Components hold references
+ * to Stat objects they bump on the fast path; lookup by name is only done
+ * at registration and reporting time.
+ */
+class StatGroup
+{
+  public:
+    /** Get-or-create the scalar stat with the given dotted name. */
+    Stat &scalar(const std::string &name);
+
+    /** Read a scalar's value; returns 0 for unknown names. */
+    double get(const std::string &name) const;
+
+    /** True if a stat with this exact name exists. */
+    bool has(const std::string &name) const;
+
+    /** Sum of all stats whose names match "prefix*". */
+    double sumPrefix(const std::string &prefix) const;
+
+    /** Reset every stat to zero. */
+    void resetAll();
+
+    /** Snapshot of all (name, value) pairs in name order. */
+    std::vector<std::pair<std::string, double>> dump() const;
+
+  private:
+    std::map<std::string, Stat> stats_;
+};
+
+} // namespace hsu
+
+#endif // HSU_COMMON_STATS_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text table / CSV rendering for experiment harnesses.
+ *
+ * Every bench binary prints its reproduced figure/table through this class
+ * so output formatting is consistent and machine-parsable.
+ */
+
+#ifndef HSU_COMMON_TABLE_HH
+#define HSU_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hsu
+{
+
+/** A simple column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    /** Construct with a title and column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append a fully-formed row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render aligned human-readable text. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no title line). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hsu
+
+#endif // HSU_COMMON_TABLE_HH

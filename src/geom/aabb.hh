@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Axis-aligned bounding box.
+ */
+
+#ifndef HSU_GEOM_AABB_HH
+#define HSU_GEOM_AABB_HH
+
+#include <limits>
+
+#include "geom/vec3.hh"
+
+namespace hsu
+{
+
+/** An axis-aligned bounding box in 3-D. Default-constructed boxes are
+ *  empty (inverted) and grow correctly under expand(). */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<float>::infinity(),
+            std::numeric_limits<float>::infinity(),
+            std::numeric_limits<float>::infinity()};
+    Vec3 hi{-std::numeric_limits<float>::infinity(),
+            -std::numeric_limits<float>::infinity(),
+            -std::numeric_limits<float>::infinity()};
+
+    Aabb() = default;
+    Aabb(const Vec3 &lo_v, const Vec3 &hi_v) : lo(lo_v), hi(hi_v) {}
+
+    /** Grow to contain a point. */
+    void
+    expand(const Vec3 &p)
+    {
+        lo = min(lo, p);
+        hi = max(hi, p);
+    }
+
+    /** Grow to contain another box. */
+    void
+    expand(const Aabb &b)
+    {
+        lo = min(lo, b.lo);
+        hi = max(hi, b.hi);
+    }
+
+    /** True when the box contains no points. */
+    bool empty() const { return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z; }
+
+    /** Geometric center. @pre !empty(). */
+    Vec3 center() const { return (lo + hi) * 0.5f; }
+
+    /** Edge-length vector. */
+    Vec3 extent() const { return hi - lo; }
+
+    /** Surface area (for SAH-style quality metrics). */
+    float
+    surfaceArea() const
+    {
+        if (empty())
+            return 0.0f;
+        const Vec3 e = extent();
+        return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    /** True when the point lies inside or on the boundary. */
+    bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /** True when the two boxes share any volume (or touch). */
+    bool
+    overlaps(const Aabb &b) const
+    {
+        return lo.x <= b.hi.x && hi.x >= b.lo.x && lo.y <= b.hi.y &&
+               hi.y >= b.lo.y && lo.z <= b.hi.z && hi.z >= b.lo.z;
+    }
+
+    /** Squared distance from a point to the box (0 when inside). */
+    float
+    distance2(const Vec3 &p) const
+    {
+        float d2 = 0.0f;
+        for (int axis = 0; axis < 3; ++axis) {
+            float v = p[axis];
+            if (v < lo[axis]) {
+                const float d = lo[axis] - v;
+                d2 += d * d;
+            } else if (v > hi[axis]) {
+                const float d = v - hi[axis];
+                d2 += d * d;
+            }
+        }
+        return d2;
+    }
+
+    /** Box centered at @p c with half-width @p half_extent per axis. */
+    static Aabb
+    centered(const Vec3 &c, float half_extent)
+    {
+        return Aabb(c - Vec3(half_extent), c + Vec3(half_extent));
+    }
+};
+
+} // namespace hsu
+
+#endif // HSU_GEOM_AABB_HH

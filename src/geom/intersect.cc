@@ -1,0 +1,100 @@
+#include "geom/intersect.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsu
+{
+
+BoxHit
+rayBoxTest(const PreparedRay &pr, const Aabb &box)
+{
+    BoxHit result;
+    if (box.empty())
+        return result;
+
+    // Classic slab method: interval of the ray inside each axis slab,
+    // intersected across axes. min/max ordering per axis handles
+    // negative direction components via the sign of invDir.
+    float t_enter = pr.ray.tmin;
+    float t_exit = pr.ray.tmax;
+    for (int axis = 0; axis < 3; ++axis) {
+        const float inv = pr.invDir[axis];
+        float t0 = (box.lo[axis] - pr.ray.origin[axis]) * inv;
+        float t1 = (box.hi[axis] - pr.ray.origin[axis]) * inv;
+        if (t0 > t1)
+            std::swap(t0, t1);
+        // NaNs (0 * inf from a ray on a slab boundary) must not poison
+        // the interval: fmax/fmin return the non-NaN operand.
+        t_enter = std::fmax(t_enter, t0);
+        t_exit = std::fmin(t_exit, t1);
+    }
+
+    result.hit = t_enter <= t_exit;
+    result.tEnter = t_enter;
+    return result;
+}
+
+TriHit
+rayTriangleTest(const PreparedRay &pr, const Triangle &tri)
+{
+    TriHit result;
+    result.triId = tri.id;
+
+    const int kx = pr.kx, ky = pr.ky, kz = pr.kz;
+
+    // Translate vertices to the ray origin.
+    const Vec3 a = tri.v0 - pr.ray.origin;
+    const Vec3 b = tri.v1 - pr.ray.origin;
+    const Vec3 c = tri.v2 - pr.ray.origin;
+
+    // Shear/scale the vertices into ray space.
+    const float ax = a[kx] - pr.sx * a[kz];
+    const float ay = a[ky] - pr.sy * a[kz];
+    const float bx = b[kx] - pr.sx * b[kz];
+    const float by = b[ky] - pr.sy * b[kz];
+    const float cx = c[kx] - pr.sx * c[kz];
+    const float cy = c[ky] - pr.sy * c[kz];
+
+    // Scaled barycentric coordinates (2-D edge equations).
+    const float u = cx * by - cy * bx;
+    const float v = ax * cy - ay * cx;
+    const float w = bx * ay - by * ax;
+
+    // No double-precision fallback for u/v/w == 0 edge hits; the paper
+    // removes it, matching the Nvidia watertight-intersection patent.
+    if ((u < 0.0f || v < 0.0f || w < 0.0f) &&
+        (u > 0.0f || v > 0.0f || w > 0.0f)) {
+        return result;
+    }
+
+    const float det = u + v + w;
+    if (det == 0.0f)
+        return result;
+
+    // Scaled hit distance.
+    const float az = pr.sz * a[kz];
+    const float bz = pr.sz * b[kz];
+    const float cz = pr.sz * c[kz];
+    const float t_scaled = u * az + v * bz + w * cz;
+
+    // Sign-aware interval test against [tmin, tmax] without dividing.
+    const auto sign_mask = [](float f) { return std::signbit(f); };
+    if (sign_mask(det)) {
+        if (t_scaled > det * pr.ray.tmin || t_scaled < det * pr.ray.tmax)
+            return result;
+    } else {
+        if (t_scaled < det * pr.ray.tmin || t_scaled > det * pr.ray.tmax)
+            return result;
+    }
+
+    result.hit = true;
+    result.tNum = t_scaled;
+    result.tDenom = det;
+    result.u = u;
+    result.v = v;
+    result.w = w;
+    return result;
+}
+
+} // namespace hsu

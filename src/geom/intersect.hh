@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ray-box (slab method) and watertight ray-triangle intersection kernels.
+ *
+ * These are the functional-unit-level computations the RT datapath
+ * performs (Figures 4-6 of the paper): the ray-box test follows the slab
+ * method used by production RT units, and the ray-triangle test follows
+ * Woop et al. 2013 "Watertight Ray/Triangle Intersection" with the
+ * double-precision tie-break fallback removed, as the paper does
+ * (motivated by the Nvidia watertight-intersection patent).
+ */
+
+#ifndef HSU_GEOM_INTERSECT_HH
+#define HSU_GEOM_INTERSECT_HH
+
+#include "geom/aabb.hh"
+#include "geom/ray.hh"
+
+namespace hsu
+{
+
+/** A triangle primitive with an application-assigned id. */
+struct Triangle
+{
+    Vec3 v0, v1, v2;
+    std::uint32_t id = 0;
+};
+
+/** Result of a single ray-box slab test. */
+struct BoxHit
+{
+    bool hit = false;
+    /** Entry distance; only meaningful when hit (clamped to ray.tmin). */
+    float tEnter = 0.0f;
+};
+
+/** Result of a watertight ray-triangle test. The RT unit returns the hit
+ *  distance as a ratio (tNum / tDenom) to avoid a divider in the
+ *  datapath (Section IV-D). */
+struct TriHit
+{
+    bool hit = false;
+    std::uint32_t triId = 0;
+    float tNum = 0.0f;
+    float tDenom = 1.0f;
+    /** Barycentric numerators (u, v, w scaled by tDenom). */
+    float u = 0.0f, v = 0.0f, w = 0.0f;
+
+    /** Resolve the hit distance (the division the HSU does NOT do). */
+    float t() const { return tNum / tDenom; }
+};
+
+/** Slab-method ray/AABB test using the precomputed inverse direction. */
+BoxHit rayBoxTest(const PreparedRay &pr, const Aabb &box);
+
+/** Watertight ray/triangle test (Woop 2013, single precision only). */
+TriHit rayTriangleTest(const PreparedRay &pr, const Triangle &tri);
+
+} // namespace hsu
+
+#endif // HSU_GEOM_INTERSECT_HH

@@ -1,0 +1,77 @@
+#include "geom/morton.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hsu
+{
+
+std::uint32_t
+expandBits10(std::uint32_t v)
+{
+    v &= 0x3ffu;
+    v = (v | (v << 16)) & 0x030000ffu;
+    v = (v | (v << 8)) & 0x0300f00fu;
+    v = (v | (v << 4)) & 0x030c30c3u;
+    v = (v | (v << 2)) & 0x09249249u;
+    return v;
+}
+
+std::uint64_t
+expandBits21(std::uint64_t v)
+{
+    v &= 0x1fffffull;
+    v = (v | (v << 32)) & 0x001f00000000ffffull;
+    v = (v | (v << 16)) & 0x001f0000ff0000ffull;
+    v = (v | (v << 8)) & 0x100f00f00f00f00full;
+    v = (v | (v << 4)) & 0x10c30c30c30c30c3ull;
+    v = (v | (v << 2)) & 0x1249249249249249ull;
+    return v;
+}
+
+namespace
+{
+
+std::uint32_t
+quantize(float f, std::uint32_t levels)
+{
+    const float clamped = std::clamp(f, 0.0f, 1.0f);
+    const auto q = static_cast<std::uint32_t>(
+        clamped * static_cast<float>(levels));
+    return std::min(q, levels - 1);
+}
+
+} // namespace
+
+std::uint32_t
+mortonCode30(const Vec3 &unit_p)
+{
+    const std::uint32_t x = quantize(unit_p.x, 1024);
+    const std::uint32_t y = quantize(unit_p.y, 1024);
+    const std::uint32_t z = quantize(unit_p.z, 1024);
+    return (expandBits10(x) << 2) | (expandBits10(y) << 1) | expandBits10(z);
+}
+
+std::uint64_t
+mortonCode63(const Vec3 &unit_p)
+{
+    const std::uint64_t x = quantize(unit_p.x, 1u << 21);
+    const std::uint64_t y = quantize(unit_p.y, 1u << 21);
+    const std::uint64_t z = quantize(unit_p.z, 1u << 21);
+    return (expandBits21(x) << 2) | (expandBits21(y) << 1) | expandBits21(z);
+}
+
+std::uint64_t
+mortonCode63(const Vec3 &p, const Aabb &bounds)
+{
+    const Vec3 ext = bounds.extent();
+    Vec3 unit;
+    for (int axis = 0; axis < 3; ++axis) {
+        unit[axis] = ext[axis] > 0.0f
+            ? (p[axis] - bounds.lo[axis]) / ext[axis]
+            : 0.0f;
+    }
+    return mortonCode63(unit);
+}
+
+} // namespace hsu

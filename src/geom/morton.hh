@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Morton (Z-order) codes for LBVH construction (Karras 2012 / Lauterbach
+ * 2009 style builders sort primitives by the Morton code of their
+ * centroid before emitting the hierarchy).
+ */
+
+#ifndef HSU_GEOM_MORTON_HH
+#define HSU_GEOM_MORTON_HH
+
+#include <cstdint>
+
+#include "geom/aabb.hh"
+#include "geom/vec3.hh"
+
+namespace hsu
+{
+
+/** Spread the low 10 bits of @p v so consecutive bits land 3 apart. */
+std::uint32_t expandBits10(std::uint32_t v);
+
+/** Spread the low 21 bits of @p v so consecutive bits land 3 apart. */
+std::uint64_t expandBits21(std::uint64_t v);
+
+/** 30-bit Morton code of a point with coordinates in [0, 1]. */
+std::uint32_t mortonCode30(const Vec3 &unit_p);
+
+/** 63-bit Morton code of a point with coordinates in [0, 1]. */
+std::uint64_t mortonCode63(const Vec3 &unit_p);
+
+/** Map @p p into [0,1]^3 relative to @p bounds, then take the 63-bit
+ *  Morton code. Degenerate (zero-extent) axes map to 0. */
+std::uint64_t mortonCode63(const Vec3 &p, const Aabb &bounds);
+
+} // namespace hsu
+
+#endif // HSU_GEOM_MORTON_HH

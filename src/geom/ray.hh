@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ray representation with the precomputed constants the RT unit expects.
+ *
+ * Section IV-D of the paper: "We pre-compute the inverse ray direction as
+ * well as the shear and k constants in the same way as [Woop 2013]. These
+ * values are constant for each ray and can be reused for each intersection
+ * test performed by the ray." PreparedRay carries exactly that state and
+ * is the operand format passed to RAY_INTERSECT through the register file.
+ */
+
+#ifndef HSU_GEOM_RAY_HH
+#define HSU_GEOM_RAY_HH
+
+#include <cmath>
+#include <limits>
+
+#include "geom/vec3.hh"
+
+namespace hsu
+{
+
+/** A ray with a parametric validity interval [tmin, tmax]. */
+struct Ray
+{
+    Vec3 origin;
+    Vec3 dir;
+    float tmin = 0.0f;
+    float tmax = std::numeric_limits<float>::infinity();
+
+    /** Point at parameter t. */
+    Vec3 at(float t) const { return origin + dir * t; }
+};
+
+/**
+ * Ray plus the per-ray constants precomputed before traversal:
+ * inverse direction (slab test) and the watertight shear constants
+ * (kx, ky, kz axis permutation and Sx, Sy, Sz shear scale).
+ */
+struct PreparedRay
+{
+    Ray ray;
+    Vec3 invDir;
+    int kx = 0;
+    int ky = 1;
+    int kz = 2;
+    float sx = 0.0f;
+    float sy = 0.0f;
+    float sz = 0.0f;
+
+    PreparedRay() = default;
+
+    /** Compute all derived constants from @p r. */
+    explicit PreparedRay(const Ray &r) : ray(r)
+    {
+        auto safe_inv = [](float d) {
+            // Copy the sign of d into the generated infinity so the slab
+            // test handles axis-parallel rays watertightly.
+            if (d != 0.0f)
+                return 1.0f / d;
+            return std::copysign(std::numeric_limits<float>::infinity(), d);
+        };
+        invDir = {safe_inv(r.dir.x), safe_inv(r.dir.y), safe_inv(r.dir.z)};
+
+        // kz is the dimension where the ray direction is maximal.
+        kz = 0;
+        if (std::fabs(r.dir.y) > std::fabs(r.dir[kz]))
+            kz = 1;
+        if (std::fabs(r.dir.z) > std::fabs(r.dir[kz]))
+            kz = 2;
+        kx = (kz + 1) % 3;
+        ky = (kx + 1) % 3;
+        // Swap kx/ky to preserve triangle winding when dir[kz] < 0.
+        if (r.dir[kz] < 0.0f)
+            std::swap(kx, ky);
+
+        sx = r.dir[kx] / r.dir[kz];
+        sy = r.dir[ky] / r.dir[kz];
+        sz = 1.0f / r.dir[kz];
+    }
+};
+
+} // namespace hsu
+
+#endif // HSU_GEOM_RAY_HH

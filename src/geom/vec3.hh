@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Minimal 3-component float vector used throughout the geometry kernels.
+ */
+
+#ifndef HSU_GEOM_VEC3_HH
+#define HSU_GEOM_VEC3_HH
+
+#include <cmath>
+#include <ostream>
+
+namespace hsu
+{
+
+/** A 3-component single-precision vector. */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float xv, float yv, float zv) : x(xv), y(yv), z(zv) {}
+    constexpr explicit Vec3(float s) : x(s), y(s), z(s) {}
+
+    constexpr float
+    operator[](int i) const
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    float &
+    operator[](int i)
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator*(const Vec3 &o) const
+    { return {x * o.x, y * o.y, z * o.z}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &operator+=(const Vec3 &o)
+    { x += o.x; y += o.y; z += o.z; return *this; }
+    Vec3 &operator-=(const Vec3 &o)
+    { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    Vec3 &operator*=(float s) { x *= s; y *= s; z *= s; return *this; }
+
+    constexpr bool operator==(const Vec3 &o) const
+    { return x == o.x && y == o.y && z == o.z; }
+};
+
+constexpr Vec3 operator*(float s, const Vec3 &v) { return v * s; }
+
+/** Dot product. */
+constexpr float
+dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/** Cross product. */
+constexpr Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+/** Squared Euclidean length. */
+constexpr float length2(const Vec3 &v) { return dot(v, v); }
+
+/** Euclidean length. */
+inline float length(const Vec3 &v) { return std::sqrt(length2(v)); }
+
+/** Unit-length copy of v. @pre length(v) > 0. */
+inline Vec3 normalize(const Vec3 &v) { return v / length(v); }
+
+/** Component-wise minimum. */
+inline Vec3
+min(const Vec3 &a, const Vec3 &b)
+{
+    return {std::fmin(a.x, b.x), std::fmin(a.y, b.y), std::fmin(a.z, b.z)};
+}
+
+/** Component-wise maximum. */
+inline Vec3
+max(const Vec3 &a, const Vec3 &b)
+{
+    return {std::fmax(a.x, b.x), std::fmax(a.y, b.y), std::fmax(a.z, b.z)};
+}
+
+/** Squared distance between two points. */
+constexpr float
+distance2(const Vec3 &a, const Vec3 &b)
+{
+    return length2(a - b);
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Vec3 &v)
+{
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+} // namespace hsu
+
+#endif // HSU_GEOM_VEC3_HH

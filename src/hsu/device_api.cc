@@ -1,0 +1,83 @@
+#include "hsu/device_api.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "hsu/functional.hh"
+
+namespace hsu
+{
+
+float
+euclidDist(const float *a, const float *b, unsigned n,
+           const DatapathConfig &cfg)
+{
+    hsu_assert(n > 0, "zero-dimensional point");
+    const unsigned beats = cfg.euclidBeats(n);
+    DistanceAccumulator acc;
+    float result = 0.0f;
+    for (unsigned beat = 0; beat < beats; ++beat) {
+        const unsigned offset = beat * cfg.euclidWidth;
+        const unsigned count = std::min(cfg.euclidWidth, n - offset);
+        const float partial = euclidPartial(a + offset, b + offset, count);
+        const bool accumulate = beat + 1 < beats;
+        result = acc.feedEuclid(partial, accumulate);
+    }
+    return result;
+}
+
+AngularDistResult
+angularDistRaw(const float *a, const float *b, unsigned n,
+               const DatapathConfig &cfg)
+{
+    hsu_assert(n > 0, "zero-dimensional point");
+    const unsigned width = cfg.angularWidth();
+    const unsigned beats = cfg.angularBeats(n);
+    DistanceAccumulator acc;
+    AngularPartial total;
+    for (unsigned beat = 0; beat < beats; ++beat) {
+        const unsigned offset = beat * width;
+        const unsigned count = std::min(width, n - offset);
+        const AngularPartial partial =
+            angularPartial(a + offset, b + offset, count);
+        const bool accumulate = beat + 1 < beats;
+        total = acc.feedAngular(partial, accumulate);
+    }
+    return {total.dotSum, total.normSum};
+}
+
+float
+angularDist(const float *a, const float *b, unsigned n, float query_norm2,
+            const DatapathConfig &cfg)
+{
+    const AngularDistResult raw = angularDistRaw(a, b, n, cfg);
+    const float denom =
+        std::sqrt(query_norm2) * std::sqrt(raw.normSum);
+    if (denom == 0.0f)
+        return 1.0f;
+    return 1.0f - raw.dotSum / denom;
+}
+
+float
+norm2(const float *a, unsigned n)
+{
+    float sum = 0.0f;
+    for (unsigned i = 0; i < n; ++i)
+        sum += a[i] * a[i];
+    return sum;
+}
+
+unsigned
+euclidInstrCount(unsigned n, const DatapathConfig &cfg)
+{
+    return cfg.euclidBeats(n);
+}
+
+unsigned
+angularInstrCount(unsigned n, const DatapathConfig &cfg)
+{
+    return cfg.angularBeats(n);
+}
+
+} // namespace hsu

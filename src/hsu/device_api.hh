@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The HSU programming interface (Section III-B of the paper).
+ *
+ * The paper exposes the unit's basic operations "directly to CUDA
+ * programmers for use in device code". This header is the host-simulated
+ * equivalent of that device library: distance intrinsics whose compiler-
+ * generated multi-beat expansion is modeled explicitly, so callers can
+ * also ask how many HSU instructions a given call lowers to.
+ */
+
+#ifndef HSU_HSU_DEVICE_API_HH
+#define HSU_HSU_DEVICE_API_HH
+
+#include <cstdint>
+
+#include "hsu/isa.hh"
+
+namespace hsu
+{
+
+/**
+ * `__euclid_dist(a, b, N)`: squared Euclidean distance between two
+ * N-dimensional points (equation 1). Lowered by the compiler to
+ * ceil(N / euclidWidth) POINT_EUCLID beats, all but the last with the
+ * accumulate bit set.
+ */
+float euclidDist(const float *a, const float *b, unsigned n,
+                 const DatapathConfig &cfg = DatapathConfig{});
+
+/**
+ * Raw results of `__angular_dist`: the HSU computes only the dot product
+ * (eq. 3) and candidate squared norm (eq. 4); the scalar division and
+ * square roots run on the regular SM pipelines.
+ */
+struct AngularDistResult
+{
+    float dotSum = 0.0f;
+    float normSum = 0.0f;
+};
+
+/**
+ * `__angular_dist(a, b, N)` raw form: the (dot_sum, norm_sum) pair
+ * returned through the register file. @p a is the query, @p b the
+ * candidate (the norm is the candidate's).
+ */
+AngularDistResult angularDistRaw(const float *a, const float *b, unsigned n,
+                                 const DatapathConfig &cfg =
+                                     DatapathConfig{});
+
+/**
+ * Convenience: full angular distance (1 - cos theta) using a
+ * precomputed squared query norm, the way search kernels consume it.
+ * Returns 1 - q.c / (|q| |c|); smaller means more similar.
+ */
+float angularDist(const float *a, const float *b, unsigned n,
+                  float query_norm2,
+                  const DatapathConfig &cfg = DatapathConfig{});
+
+/** Squared L2 norm of an n-dimensional point (precomputed per query). */
+float norm2(const float *a, unsigned n);
+
+/** Number of HSU instructions `__euclid_dist` lowers to for dim @p n. */
+unsigned euclidInstrCount(unsigned n,
+                          const DatapathConfig &cfg = DatapathConfig{});
+
+/** Number of HSU instructions `__angular_dist` lowers to for dim @p n. */
+unsigned angularInstrCount(unsigned n,
+                           const DatapathConfig &cfg = DatapathConfig{});
+
+} // namespace hsu
+
+#endif // HSU_HSU_DEVICE_API_HH

@@ -1,0 +1,117 @@
+#include "hsu/encoding.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+namespace
+{
+
+constexpr std::uint64_t kNodeAddrMask = (1ull << 48) - 1;
+
+} // namespace
+
+HsuInstrWord
+encodeInstr(const HsuInstrFields &f)
+{
+    hsu_assert(f.nodeAddr <= kNodeAddrMask,
+               "node address exceeds 48 bits: ", f.nodeAddr);
+    hsu_assert(f.count <= 36, "KEY_COMPARE count exceeds 36: ",
+               static_cast<int>(f.count));
+    hsu_assert(static_cast<unsigned>(f.opcode) < 64, "opcode overflow");
+
+    HsuInstrWord w;
+    w.word0 = static_cast<std::uint64_t>(f.opcode) & 0x3f;
+    w.word0 |= static_cast<std::uint64_t>(f.accumulate) << 6;
+    w.word0 |= static_cast<std::uint64_t>(f.dstReg) << 8;
+    w.word0 |= static_cast<std::uint64_t>(f.srcReg) << 16;
+    w.word0 |= static_cast<std::uint64_t>(f.count) << 24;
+    w.word0 |= static_cast<std::uint64_t>(f.imm) << 32;
+    w.word1 = f.nodeAddr & kNodeAddrMask;
+    return w;
+}
+
+std::optional<HsuInstrFields>
+decodeInstr(const HsuInstrWord &w)
+{
+    // Reserved bits must be zero.
+    if (w.word0 & 0x80)
+        return std::nullopt;
+    if (w.word1 >> 48)
+        return std::nullopt;
+
+    const auto op_raw = static_cast<unsigned>(w.word0 & 0x3f);
+    if (op_raw > static_cast<unsigned>(HsuOpcode::KeyCompare))
+        return std::nullopt;
+
+    HsuInstrFields f;
+    f.opcode = static_cast<HsuOpcode>(op_raw);
+    f.accumulate = (w.word0 >> 6) & 1;
+    f.dstReg = static_cast<std::uint8_t>((w.word0 >> 8) & 0xff);
+    f.srcReg = static_cast<std::uint8_t>((w.word0 >> 16) & 0xff);
+    f.count = static_cast<std::uint8_t>((w.word0 >> 24) & 0xff);
+    if (f.count > 36)
+        return std::nullopt;
+    f.imm = static_cast<std::uint32_t>(w.word0 >> 32);
+    f.nodeAddr = w.word1 & kNodeAddrMask;
+
+    // Accumulate is only meaningful on the distance instructions.
+    if (f.accumulate && f.opcode != HsuOpcode::PointEuclid &&
+        f.opcode != HsuOpcode::PointAngular) {
+        return std::nullopt;
+    }
+    return f;
+}
+
+std::string
+disassemble(const HsuInstrWord &w)
+{
+    const auto fields = decodeInstr(w);
+    if (!fields)
+        return "<invalid>";
+    std::ostringstream os;
+    os << toString(fields->opcode);
+    if (fields->accumulate)
+        os << ".acc";
+    os << " r" << static_cast<int>(fields->dstReg) << ", r"
+       << static_cast<int>(fields->srcReg) << ", [0x" << std::hex
+       << fields->nodeAddr << std::dec << "]";
+    if (fields->opcode == HsuOpcode::KeyCompare)
+        os << ", n=" << static_cast<int>(fields->count);
+    return os.str();
+}
+
+std::vector<HsuInstrWord>
+encodeDistanceSequence(HsuOpcode opcode, unsigned dim,
+                       std::uint64_t point_addr, std::uint8_t dst_reg,
+                       std::uint8_t src_reg, const DatapathConfig &dp)
+{
+    hsu_assert(opcode == HsuOpcode::PointEuclid ||
+                   opcode == HsuOpcode::PointAngular,
+               "not a distance opcode");
+    const bool angular = opcode == HsuOpcode::PointAngular;
+    const unsigned beats =
+        angular ? dp.angularBeats(dim) : dp.euclidBeats(dim);
+    const unsigned step = dp.bytesPerBeat(
+        angular ? HsuMode::Angular : HsuMode::Euclid);
+
+    std::vector<HsuInstrWord> out;
+    out.reserve(beats);
+    for (unsigned b = 0; b < beats; ++b) {
+        HsuInstrFields f;
+        f.opcode = opcode;
+        f.accumulate = b + 1 < beats;
+        f.dstReg = dst_reg;
+        f.srcReg = src_reg;
+        f.imm = dim;
+        f.nodeAddr = point_addr + static_cast<std::uint64_t>(b) * step;
+        out.push_back(encodeInstr(f));
+    }
+    return out;
+}
+
+} // namespace hsu

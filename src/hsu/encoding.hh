@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Binary encoding of the HSU instruction words.
+ *
+ * The paper describes the HSU instructions at the ISA level (Table I,
+ * AMD IMAGE_INTERSECT_RAY-style CISC operations with an accumulate
+ * modifier). This header pins down a concrete 128-bit instruction-word
+ * encoding — the artifact a compiler backend or trace post-processor
+ * (the paper's Accel-Sim flow) would emit — with an assembler,
+ * disassembler, and field accessors.
+ *
+ * Word layout (little-endian fields, two 64-bit halves):
+ *
+ *   word0[ 5: 0]  opcode        (HsuOpcode)
+ *   word0[    6]  accumulate    (Section IV-F multi-beat chaining)
+ *   word0[    7]  reserved
+ *   word0[15: 8]  dstReg        (result register base; 4 consecutive)
+ *   word0[23:16]  srcReg        (ray/query operand register base)
+ *   word0[31:24]  count         (separators for KEY_COMPARE, else 0)
+ *   word0[63:32]  imm           (mode-specific immediate)
+ *   word1[47: 0]  nodeAddr      (48-bit node/point pointer)
+ *   word1[63:48]  reserved
+ */
+
+#ifndef HSU_HSU_ENCODING_HH
+#define HSU_HSU_ENCODING_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hsu/isa.hh"
+
+namespace hsu
+{
+
+/** One encoded 128-bit HSU instruction. */
+struct HsuInstrWord
+{
+    std::uint64_t word0 = 0;
+    std::uint64_t word1 = 0;
+
+    bool operator==(const HsuInstrWord &) const = default;
+};
+
+/** Decoded field view of an instruction word. */
+struct HsuInstrFields
+{
+    HsuOpcode opcode = HsuOpcode::RayIntersect;
+    bool accumulate = false;
+    std::uint8_t dstReg = 0;
+    std::uint8_t srcReg = 0;
+    std::uint8_t count = 0;       //!< KEY_COMPARE separator count
+    std::uint32_t imm = 0;
+    std::uint64_t nodeAddr = 0;   //!< 48-bit
+
+    bool operator==(const HsuInstrFields &) const = default;
+};
+
+/** Assemble fields into an instruction word.
+ *  Panics on out-of-range fields (nodeAddr >= 2^48, count > 36). */
+HsuInstrWord encodeInstr(const HsuInstrFields &fields);
+
+/** Decode an instruction word. @return nullopt for invalid opcodes or
+ *  nonzero reserved bits. */
+std::optional<HsuInstrFields> decodeInstr(const HsuInstrWord &word);
+
+/** Human-readable disassembly, e.g.
+ *  "POINT_EUCLID.acc r4, r8, [0x000010040] ". */
+std::string disassemble(const HsuInstrWord &word);
+
+/**
+ * Assemble the full multi-beat sequence for an n-dimensional distance
+ * computation (the compiler lowering of __euclid_dist /
+ * __angular_dist, Section IV-F): ceil(n / width) instructions, all but
+ * the last with the accumulate bit set, node pointers advancing by the
+ * per-beat fetch size.
+ */
+std::vector<HsuInstrWord> encodeDistanceSequence(
+    HsuOpcode opcode, unsigned dim, std::uint64_t point_addr,
+    std::uint8_t dst_reg, std::uint8_t src_reg,
+    const DatapathConfig &dp = DatapathConfig{});
+
+} // namespace hsu
+
+#endif // HSU_HSU_ENCODING_HH

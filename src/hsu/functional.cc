@@ -1,0 +1,119 @@
+#include "hsu/functional.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+BoxIntersectResult
+rayIntersectBox(const PreparedRay &pr, const BoxNode4 &node)
+{
+    BoxIntersectResult result;
+
+    // Evaluate the (up to) four slab tests.
+    std::array<std::pair<float, std::uint32_t>, 4> hits;
+    unsigned n_hits = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        if (node.child[i] == kInvalidNode)
+            continue;
+        const BoxHit h = rayBoxTest(pr, node.bounds[i]);
+        if (h.hit)
+            hits[n_hits++] = {h.tEnter, node.child[i]};
+    }
+
+    // Closest-hit sort: the unit returns children ordered by entry
+    // distance so traversal can visit near children first.
+    std::stable_sort(hits.begin(), hits.begin() + n_hits,
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+
+    result.hits = n_hits;
+    for (unsigned i = 0; i < n_hits; ++i) {
+        result.sortedChild[i] = hits[i].second;
+        result.tEnter[i] = hits[i].first;
+    }
+    return result;
+}
+
+TriHit
+rayIntersectTri(const PreparedRay &pr, const TriNode &node)
+{
+    return rayTriangleTest(pr, node.tri);
+}
+
+float
+euclidPartial(const float *q, const float *c, unsigned count)
+{
+    // Stage 1: 16-wide subtraction; stage 2: 16-wide multiply;
+    // stages 3..: adder-tree reduction. Functionally a dot of the
+    // difference with itself.
+    float sum = 0.0f;
+    for (unsigned i = 0; i < count; ++i) {
+        const float d = q[i] - c[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+AngularPartial
+angularPartial(const float *q, const float *c, unsigned count)
+{
+    // Two 8-wide multiplies feed two adder-tree reductions: the
+    // query-candidate dot product and the candidate squared norm.
+    AngularPartial p;
+    for (unsigned i = 0; i < count; ++i) {
+        p.dotSum += c[i] * q[i];
+        p.normSum += c[i] * c[i];
+    }
+    return p;
+}
+
+std::uint64_t
+keyCompare(std::uint32_t key, const std::uint32_t *seps, unsigned count)
+{
+    hsu_assert(count <= 36, "KEY_COMPARE supports at most 36 separators, "
+               "got ", count);
+    std::uint64_t bits = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        // Bit is 0 when key < separator, 1 otherwise (Table I).
+        if (key >= seps[i])
+            bits |= (1ull << i);
+    }
+    return bits;
+}
+
+float
+DistanceAccumulator::feedEuclid(float partial, bool accumulate)
+{
+    distSum_ += partial;
+    if (accumulate) {
+        open_ = true;
+        return 0.0f;
+    }
+    const float total = distSum_;
+    distSum_ = 0.0f;
+    open_ = false;
+    return total;
+}
+
+AngularPartial
+DistanceAccumulator::feedAngular(const AngularPartial &partial,
+                                 bool accumulate)
+{
+    dotSum_ += partial.dotSum;
+    normSum_ += partial.normSum;
+    if (accumulate) {
+        open_ = true;
+        return {};
+    }
+    const AngularPartial total{dotSum_, normSum_};
+    dotSum_ = 0.0f;
+    normSum_ = 0.0f;
+    open_ = false;
+    return total;
+}
+
+} // namespace hsu

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Functional (bit-accurate at float32 granularity) semantics of the HSU
+ * instructions. The timing model in src/rtunit wraps these with pipeline
+ * and memory behaviour; library code and tests call them directly.
+ */
+
+#ifndef HSU_HSU_FUNCTIONAL_HH
+#define HSU_HSU_FUNCTIONAL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "geom/intersect.hh"
+#include "geom/ray.hh"
+#include "hsu/isa.hh"
+#include "hsu/nodes.hh"
+
+namespace hsu
+{
+
+/**
+ * Result of RAY_INTERSECT on a box node: the children that were hit,
+ * sorted in order of closest entry distance, followed by kInvalidNode
+ * entries for misses (Section IV-D: "pointers to the four children nodes
+ * are returned in order of closest hit. If the ray did not intersect one
+ * of the child nodes a null pointer is returned").
+ */
+struct BoxIntersectResult
+{
+    std::array<std::uint32_t, 4> sortedChild{kInvalidNode, kInvalidNode,
+                                             kInvalidNode, kInvalidNode};
+    std::array<float, 4> tEnter{};
+    unsigned hits = 0;
+};
+
+/** RAY_INTERSECT on a box node: up to four slab tests + closest-hit sort. */
+BoxIntersectResult rayIntersectBox(const PreparedRay &pr,
+                                   const BoxNode4 &node);
+
+/** RAY_INTERSECT on a triangle node: one watertight test. The hit
+ *  distance is returned as (tNum, tDenom); the divide happens in SM
+ *  software, not in the unit. */
+TriHit rayIntersectTri(const PreparedRay &pr, const TriNode &node);
+
+/**
+ * One POINT_EUCLID beat: partial sum of (q_i - c_i)^2 over at most
+ * `width` lanes. Lanes beyond @p count contribute zero.
+ *
+ * @param q      query-point chunk (count floats)
+ * @param c      candidate-point chunk (count floats)
+ * @param count  live lanes this beat (1..width)
+ */
+float euclidPartial(const float *q, const float *c, unsigned count);
+
+/** Partial results of one POINT_ANGULAR beat. */
+struct AngularPartial
+{
+    float dotSum = 0.0f;  //!< sum of c_i * q_i
+    float normSum = 0.0f; //!< sum of c_i * c_i
+};
+
+/** One POINT_ANGULAR beat over at most `width` lanes. */
+AngularPartial angularPartial(const float *q, const float *c,
+                              unsigned count);
+
+/**
+ * One KEY_COMPARE beat: compare @p key against @p count separator values
+ * (count <= 36). Bit i of the result is 0 when key < keys[i] and 1
+ * otherwise, matching Table I.
+ */
+std::uint64_t keyCompare(std::uint32_t key, const std::uint32_t *seps,
+                         unsigned count);
+
+/**
+ * Multi-beat accumulator mirroring the datapath's accumulate register
+ * (Section IV-F). Software-visible semantics: beats with accumulate=1
+ * fold into internal state; the beat with accumulate=0 returns the total
+ * and resets.
+ */
+class DistanceAccumulator
+{
+  public:
+    /** Feed one Euclidean beat. @return the accumulated distance when
+     *  @p accumulate is false (the final beat); 0 otherwise. */
+    float feedEuclid(float partial, bool accumulate);
+
+    /** Feed one angular beat. @return the accumulated (dot, norm) pair
+     *  when @p accumulate is false; zeros otherwise. */
+    AngularPartial feedAngular(const AngularPartial &partial,
+                               bool accumulate);
+
+    /** True while a multi-beat sequence is open. */
+    bool open() const { return open_; }
+
+  private:
+    float distSum_ = 0.0f;
+    float dotSum_ = 0.0f;
+    float normSum_ = 0.0f;
+    bool open_ = false;
+};
+
+} // namespace hsu
+
+#endif // HSU_HSU_FUNCTIONAL_HH

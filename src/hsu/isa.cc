@@ -1,0 +1,42 @@
+#include "hsu/isa.hh"
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+std::string
+toString(HsuOpcode op)
+{
+    switch (op) {
+      case HsuOpcode::RayIntersect:
+        return "RAY_INTERSECT";
+      case HsuOpcode::PointEuclid:
+        return "POINT_EUCLID";
+      case HsuOpcode::PointAngular:
+        return "POINT_ANGULAR";
+      case HsuOpcode::KeyCompare:
+        return "KEY_COMPARE";
+    }
+    hsu_panic("unknown HsuOpcode ", static_cast<int>(op));
+}
+
+std::string
+toString(HsuMode mode)
+{
+    switch (mode) {
+      case HsuMode::RayBox:
+        return "ray-box";
+      case HsuMode::RayTri:
+        return "ray-tri";
+      case HsuMode::Euclid:
+        return "euclid";
+      case HsuMode::Angular:
+        return "angular";
+      case HsuMode::KeyCompare:
+        return "key-compare";
+    }
+    hsu_panic("unknown HsuMode ", static_cast<int>(mode));
+}
+
+} // namespace hsu

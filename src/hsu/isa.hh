@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Hierarchical Search Unit instruction set (Table I of the paper).
+ *
+ * The baseline RT unit exposes a single CISC instruction, RAY_INTERSECT,
+ * which fetches a BVH node from memory and performs either one watertight
+ * ray-triangle test or four slab ray-box tests depending on the node type.
+ * The HSU adds three instructions:
+ *
+ *  - POINT_EUCLID:  16-wide squared-Euclidean-distance partial sum,
+ *  - POINT_ANGULAR: 8-wide dot-product + candidate-norm partial sums,
+ *  - KEY_COMPARE:   up to 36 key-vs-separator comparisons (B-tree nodes).
+ *
+ * Distances over points wider than the datapath are computed with
+ * multi-beat sequences: the compiler emits ceil(n / width) instructions,
+ * all but the last with the accumulate bit set (Section IV-F).
+ */
+
+#ifndef HSU_HSU_ISA_HH
+#define HSU_HSU_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hsu
+{
+
+/** HSU/RT-unit opcodes. */
+enum class HsuOpcode : std::uint8_t
+{
+    RayIntersect, //!< baseline: 1 ray-tri or 4 ray-box tests
+    PointEuclid,  //!< squared euclidean distance partial
+    PointAngular, //!< dot + candidate-norm partials
+    KeyCompare,   //!< B-tree separator comparisons
+};
+
+/**
+ * Datapath operating modes (columns of Fig 6). RAY_INTERSECT resolves to
+ * RayBox or RayTri only after the node operand is fetched from memory,
+ * which is why the mode is distinct from the opcode.
+ */
+enum class HsuMode : std::uint8_t
+{
+    RayBox,
+    RayTri,
+    Euclid,
+    Angular,
+    KeyCompare,
+};
+
+/** Human-readable opcode name. */
+std::string toString(HsuOpcode op);
+
+/** Human-readable mode name. */
+std::string toString(HsuMode mode);
+
+/**
+ * Datapath width parameters. The defaults match the paper's chosen
+ * design point: 16-wide Euclidean, 8-wide angular (half the Euclidean
+ * width so the two modes share multipliers), 36-wide key compare, and a
+ * 9-stage pipeline. Width sensitivity (Fig 10) sweeps euclidWidth with
+ * angularWidth locked to half of it.
+ */
+struct DatapathConfig
+{
+    unsigned euclidWidth = 16;
+    unsigned keyCompareWidth = 36;
+    unsigned pipelineDepth = 9;
+    /** Box tests evaluated per RAY_INTERSECT on a box node. */
+    unsigned boxTestsPerInstr = 4;
+
+    /** Angular width is architecturally half the Euclidean width. */
+    unsigned angularWidth() const { return euclidWidth / 2; }
+
+    /** Beats to cover an n-dimensional Euclidean distance. */
+    unsigned
+    euclidBeats(unsigned n) const
+    {
+        return (n + euclidWidth - 1) / euclidWidth;
+    }
+
+    /** Beats to cover an n-dimensional angular distance. */
+    unsigned
+    angularBeats(unsigned n) const
+    {
+        return (n + angularWidth() - 1) / angularWidth();
+    }
+
+    /** Beats to compare against @p n separators. */
+    unsigned
+    keyCompareBeats(unsigned n) const
+    {
+        return (n + keyCompareWidth - 1) / keyCompareWidth;
+    }
+
+    /**
+     * Bytes of candidate operand data fetched from memory per beat.
+     * Section VI-B: "A euclidean distance instruction requires 64 bytes
+     * to be retrieved from memory, while an angular distance instruction
+     * requires 32 bytes" (16 and 8 floats respectively).
+     */
+    unsigned
+    bytesPerBeat(HsuMode mode) const
+    {
+        switch (mode) {
+          case HsuMode::Euclid:
+            return euclidWidth * 4;
+          case HsuMode::Angular:
+            return angularWidth() * 4;
+          case HsuMode::KeyCompare:
+            return keyCompareWidth * 4;
+          case HsuMode::RayBox:
+            return 128; // one 4-wide box node
+          case HsuMode::RayTri:
+            return 48; // one triangle node
+        }
+        return 0;
+    }
+};
+
+} // namespace hsu
+
+#endif // HSU_HSU_ISA_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Memory-resident node formats consumed by RAY_INTERSECT and KEY_COMPARE.
+ *
+ * The RT unit is a CISC engine: the instruction carries a *pointer* and
+ * the unit fetches the node payload itself. These structs define the
+ * payload layouts (and, importantly for the memory-system experiments,
+ * their sizes). The 4-wide box node follows the RDNA3-style layout used
+ * by the paper's baseline; the triangle node holds one watertight-test
+ * triangle; the B-tree separator node holds up to 36 keys per beat.
+ */
+
+#ifndef HSU_HSU_NODES_HH
+#define HSU_HSU_NODES_HH
+
+#include <array>
+#include <cstdint>
+
+#include "geom/aabb.hh"
+#include "geom/intersect.hh"
+
+namespace hsu
+{
+
+/** Sentinel for an absent child / miss result. */
+constexpr std::uint32_t kInvalidNode = 0xffffffffu;
+
+/** Tag bit distinguishing leaf (primitive) children from inner children
+ *  in packed child references. */
+constexpr std::uint32_t kLeafBit = 0x80000000u;
+
+/** Pack a node index and leaf flag into a child reference. */
+constexpr std::uint32_t
+makeChildRef(std::uint32_t index, bool is_leaf)
+{
+    return index | (is_leaf ? kLeafBit : 0u);
+}
+
+/** Extract the index from a child reference. */
+constexpr std::uint32_t childIndex(std::uint32_t ref)
+{
+    return ref & ~kLeafBit;
+}
+
+/** True when the child reference points at a leaf. */
+constexpr bool childIsLeaf(std::uint32_t ref)
+{
+    return ref != kInvalidNode && (ref & kLeafBit) != 0;
+}
+
+/**
+ * A 4-wide internal BVH node: up to four children, each with an AABB.
+ * Unused slots hold kInvalidNode. 4 x (6 floats + 1 ref) = 112 bytes of
+ * payload; the memory model rounds the footprint to one 128-byte line.
+ */
+struct BoxNode4
+{
+    std::array<Aabb, 4> bounds{};
+    std::array<std::uint32_t, 4> child{kInvalidNode, kInvalidNode,
+                                       kInvalidNode, kInvalidNode};
+
+    /** Number of valid children (valid slots are packed first). */
+    unsigned
+    arity() const
+    {
+        unsigned n = 0;
+        while (n < 4 && child[n] != kInvalidNode)
+            ++n;
+        return n;
+    }
+
+    /** Modeled memory footprint in bytes. */
+    static constexpr unsigned kBytes = 128;
+};
+
+/**
+ * A triangle leaf node: one triangle (9 floats) plus its id.
+ * 40 bytes of payload, modeled as a 48-byte footprint.
+ */
+struct TriNode
+{
+    Triangle tri;
+
+    static constexpr unsigned kBytes = 48;
+};
+
+/**
+ * One beat of B-tree separator values for KEY_COMPARE: up to 36 keys.
+ * Separators must be in non-decreasing order.
+ */
+struct SeparatorNode
+{
+    std::array<std::uint32_t, 36> keys{};
+    unsigned count = 0;
+
+    static constexpr unsigned kBytes = 144; // 36 x 4B
+};
+
+} // namespace hsu
+
+#endif // HSU_HSU_NODES_HH

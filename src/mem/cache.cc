@@ -1,0 +1,174 @@
+#include "mem/cache.hh"
+
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+Cache::Cache(CacheParams params, StatGroup &stats)
+    : params_(std::move(params)),
+      statAccesses_(stats.scalar(params_.name + ".accesses")),
+      statReadAccesses_(stats.scalar(params_.name + ".read_accesses")),
+      statHits_(stats.scalar(params_.name + ".hits")),
+      statHitReserved_(stats.scalar(params_.name + ".hit_reserved")),
+      statMisses_(stats.scalar(params_.name + ".misses")),
+      statWrites_(stats.scalar(params_.name + ".writes")),
+      statRejects_(stats.scalar(params_.name + ".rejects"))
+{
+    hsu_assert(params_.lineBytes > 0 && params_.assoc > 0,
+               "bad cache geometry");
+    const std::uint64_t lines = params_.sizeBytes / params_.lineBytes;
+    hsu_assert(lines >= params_.assoc, "cache smaller than one set");
+    numSets_ = static_cast<unsigned>(lines / params_.assoc);
+    sets_.assign(numSets_, std::vector<Way>(params_.assoc));
+}
+
+bool
+Cache::lookup(std::uint64_t line_addr, std::uint64_t now)
+{
+    auto &set = sets_[line_addr % numSets_];
+    const std::uint64_t tag = line_addr / numSets_;
+    for (auto &way : set) {
+        if (way.valid && way.tag == tag) {
+            way.lastUse = now;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::install(std::uint64_t line_addr, std::uint64_t now)
+{
+    auto &set = sets_[line_addr % numSets_];
+    const std::uint64_t tag = line_addr / numSets_;
+    // Already present (e.g. two MSHR-free fills of the same line)?
+    for (auto &way : set) {
+        if (way.valid && way.tag == tag) {
+            way.lastUse = now;
+            return;
+        }
+    }
+    // Prefer an invalid way, else evict LRU.
+    Way *victim = &set[0];
+    for (auto &way : set) {
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = now;
+}
+
+void
+Cache::scheduleDone(MemCompletion done, std::uint64_t ready)
+{
+    if (done)
+        ready_.push(PendingDone{ready, seq_++, std::move(done)});
+}
+
+CacheOutcome
+Cache::access(std::uint64_t addr, bool write, MemCompletion done,
+              std::uint64_t now)
+{
+    const std::uint64_t line = lineOf(addr);
+
+    if (write) {
+        // Write-through, no-allocate: the store retires after the hit
+        // latency while the write packet drains toward memory.
+        if (missQueue_.size() >= params_.missQueueCapacity) {
+            ++statRejects_;
+            return CacheOutcome::RejectQueueFull;
+        }
+        ++statAccesses_;
+        ++statWrites_;
+        lookup(line, now); // refresh LRU if present
+        missQueue_.emplace_back(line, true);
+        scheduleDone(std::move(done), now + params_.hitLatency);
+        return CacheOutcome::Hit;
+    }
+
+    // Read path. Structural rejections are checked before counting the
+    // access so a retried request is not double-counted.
+    if (lookup(line, now)) {
+        ++statAccesses_;
+        ++statReadAccesses_;
+        ++statHits_;
+        scheduleDone(std::move(done), now + params_.hitLatency);
+        return CacheOutcome::Hit;
+    }
+
+    auto mshr_it = mshr_.find(line);
+    if (mshr_it != mshr_.end()) {
+        if (mshr_it->second.waiters.size() >= params_.mshrMergesPerEntry) {
+            ++statRejects_;
+            return CacheOutcome::RejectMshrFull;
+        }
+        ++statAccesses_;
+        ++statReadAccesses_;
+        ++statHitReserved_;
+        mshr_it->second.waiters.push_back(std::move(done));
+        return CacheOutcome::HitReserved;
+    }
+
+    if (mshr_.size() >= params_.mshrEntries) {
+        ++statRejects_;
+        return CacheOutcome::RejectMshrFull;
+    }
+    if (missQueue_.size() >= params_.missQueueCapacity) {
+        ++statRejects_;
+        return CacheOutcome::RejectQueueFull;
+    }
+
+    ++statAccesses_;
+    ++statReadAccesses_;
+    ++statMisses_;
+    mshr_[line].waiters.push_back(std::move(done));
+    missQueue_.emplace_back(line, false);
+    return CacheOutcome::Miss;
+}
+
+void
+Cache::fill(std::uint64_t line_addr, std::uint64_t now)
+{
+    install(line_addr, now);
+    auto it = mshr_.find(line_addr);
+    hsu_assert(it != mshr_.end(), params_.name,
+               ": fill for line with no MSHR entry");
+    for (auto &waiter : it->second.waiters)
+        scheduleDone(std::move(waiter), now);
+    mshr_.erase(it);
+}
+
+void
+Cache::tick(std::uint64_t now)
+{
+    // Retire due completions.
+    while (!ready_.empty() && ready_.top().ready <= now) {
+        // The callback may access this cache again; pop first.
+        MemCompletion done = std::move(
+            const_cast<PendingDone &>(ready_.top()).done);
+        ready_.pop();
+        done();
+    }
+    // Drain the miss/write queue downstream while accepted.
+    while (!missQueue_.empty() && sendLower_ &&
+           sendLower_(missQueue_.front().first, missQueue_.front().second,
+                      now)) {
+        missQueue_.pop_front();
+    }
+}
+
+bool
+Cache::idle() const
+{
+    return mshr_.empty() && missQueue_.empty() && ready_.empty();
+}
+
+} // namespace hsu

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A latency/bandwidth-constrained point-to-point channel.
+ *
+ * Models interconnect hops (L1 <-> L2, L2 <-> DRAM): every payload is
+ * delivered to the sink `latency` cycles after acceptance, with at most
+ * `linesPerCycle` acceptances per cycle and a bounded in-flight queue for
+ * backpressure. The roofline bound in Fig 8 (one cache line per cycle of
+ * L2 bandwidth) is this bandwidth cap.
+ */
+
+#ifndef HSU_MEM_CHANNEL_HH
+#define HSU_MEM_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+/** Point-to-point channel carrying payloads of type T. */
+template <typename T>
+class Channel
+{
+  public:
+    /**
+     * @param latency         delivery delay in cycles
+     * @param lines_per_cycle acceptances (and deliveries) per cycle
+     * @param capacity        max in-flight payloads (backpressure bound)
+     */
+    Channel(unsigned latency, unsigned lines_per_cycle, unsigned capacity)
+        : latency_(latency), bandwidth_(lines_per_cycle),
+          capacity_(capacity)
+    {
+        hsu_assert(bandwidth_ > 0, "channel bandwidth must be positive");
+        hsu_assert(capacity_ > 0, "channel capacity must be positive");
+    }
+
+    /** Set the delivery callback. Must be called before the first tick. */
+    void setSink(std::function<void(T &&)> sink) { sink_ = std::move(sink); }
+
+    /** Try to accept a payload at cycle @p now. False means backpressure
+     *  (bandwidth or capacity exhausted) and the caller must retry. */
+    bool
+    trySend(T payload, std::uint64_t now)
+    {
+        if (now != lastAcceptCycle_) {
+            lastAcceptCycle_ = now;
+            acceptedThisCycle_ = 0;
+        }
+        if (acceptedThisCycle_ >= bandwidth_ || queue_.size() >= capacity_)
+            return false;
+        ++acceptedThisCycle_;
+        queue_.emplace_back(now + latency_, std::move(payload));
+        return true;
+    }
+
+    /** Deliver up to `bandwidth` payloads whose time has come. */
+    void
+    tick(std::uint64_t now)
+    {
+        unsigned delivered = 0;
+        while (!queue_.empty() && delivered < bandwidth_ &&
+               queue_.front().first <= now) {
+            sink_(std::move(queue_.front().second));
+            queue_.pop_front();
+            ++delivered;
+        }
+    }
+
+    /** Number of in-flight payloads. */
+    std::size_t inFlight() const { return queue_.size(); }
+
+    /** True when nothing is in flight. */
+    bool idle() const { return queue_.empty(); }
+
+  private:
+    unsigned latency_;
+    unsigned bandwidth_;
+    unsigned capacity_;
+    std::function<void(T &&)> sink_;
+    std::deque<std::pair<std::uint64_t, T>> queue_;
+    std::uint64_t lastAcceptCycle_ = ~0ULL;
+    unsigned acceptedThisCycle_ = 0;
+};
+
+} // namespace hsu
+
+#endif // HSU_MEM_CHANNEL_HH

@@ -1,0 +1,117 @@
+#include "mem/dram.hh"
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+Dram::Dram(DramParams params, StatGroup &stats)
+    : params_(params), banks_(params.banks),
+      statAccesses_(stats.scalar("dram.accesses")),
+      statActivations_(stats.scalar("dram.activations")),
+      statRowHits_(stats.scalar("dram.row_hits"))
+{
+    hsu_assert((params_.banks & (params_.banks - 1)) == 0,
+               "bank count must be a power of two");
+}
+
+unsigned
+Dram::bankOf(std::uint64_t line_addr) const
+{
+    return static_cast<unsigned>(line_addr & (params_.banks - 1));
+}
+
+std::uint64_t
+Dram::rowOf(std::uint64_t line_addr) const
+{
+    return (line_addr / params_.banks) / params_.linesPerRow;
+}
+
+void
+Dram::enqueue(std::uint64_t line_addr, bool write, MemCompletion done,
+              std::uint64_t now)
+{
+    Bank &bank = banks_[bankOf(line_addr)];
+    bank.queue.push_back(Request{line_addr, rowOf(line_addr), write,
+                                 std::move(done), now});
+}
+
+void
+Dram::tick(std::uint64_t now)
+{
+    // Fire due completions.
+    while (!ready_.empty() && ready_.top().ready <= now) {
+        MemCompletion done =
+            std::move(const_cast<PendingDone &>(ready_.top()).done);
+        ready_.pop();
+        --inService_;
+        if (done)
+            done();
+    }
+
+    // Start a new service on every free bank using FR-FCFS: first
+    // request hitting the open row wins, else the oldest request.
+    for (auto &bank : banks_) {
+        if (bank.readyAt > now || bank.queue.empty())
+            continue;
+
+        auto pick = bank.queue.end();
+        if (bank.rowValid) {
+            for (auto it = bank.queue.begin(); it != bank.queue.end();
+                 ++it) {
+                if (it->row == bank.openRow) {
+                    pick = it;
+                    break;
+                }
+            }
+        }
+        const bool row_hit = pick != bank.queue.end();
+        if (!row_hit)
+            pick = bank.queue.begin();
+
+        ++statAccesses_;
+        unsigned latency;
+        if (row_hit) {
+            ++statRowHits_;
+            latency = params_.rowHitLatency;
+        } else {
+            ++statActivations_;
+            bank.openRow = pick->row;
+            bank.rowValid = true;
+            latency = params_.rowMissLatency;
+        }
+
+        // The bank is busy until the access completes (activation and
+        // column access do not overlap with the next request).
+        bank.readyAt =
+            now + std::max<std::uint64_t>(latency,
+                                          params_.bankCycleTime);
+        ready_.push(PendingDone{now + latency, seq_++,
+                                std::move(pick->done)});
+        ++inService_;
+        bank.queue.erase(pick);
+    }
+}
+
+bool
+Dram::idle() const
+{
+    if (inService_ != 0)
+        return false;
+    for (const auto &bank : banks_) {
+        if (!bank.queue.empty())
+            return false;
+    }
+    return true;
+}
+
+double
+Dram::rowLocality() const
+{
+    const double activations = statActivations_.value();
+    if (activations == 0.0)
+        return 0.0;
+    return statAccesses_.value() / activations;
+}
+
+} // namespace hsu

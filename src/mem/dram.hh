@@ -1,0 +1,103 @@
+/**
+ * @file
+ * HBM-style DRAM model with per-bank row buffers and an FR-FCFS
+ * (First-Row, First-Come-First-Served) scheduler: queued accesses to the
+ * currently open row are prioritized over older requests to other rows
+ * (Section VI-J / Fig 14 of the paper).
+ */
+
+#ifndef HSU_MEM_DRAM_HH
+#define HSU_MEM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/cache.hh" // MemCompletion
+
+namespace hsu
+{
+
+/** DRAM geometry and timing. */
+struct DramParams
+{
+    unsigned banks = 16;        //!< power of two
+    unsigned linesPerRow = 16;  //!< 2KB rows with 128B lines
+    unsigned rowHitLatency = 20;
+    unsigned rowMissLatency = 60;
+    /** Minimum cycles between successive services on one bank. */
+    unsigned bankCycleTime = 4;
+};
+
+/**
+ * The DRAM device. Requests always enqueue (the upstream channel bounds
+ * outstanding traffic); banks service them FR-FCFS.
+ */
+class Dram
+{
+  public:
+    Dram(DramParams params, StatGroup &stats);
+
+    /** Queue a line access. @p done fires when data is returned (reads);
+     *  writes pass an empty completion. */
+    void enqueue(std::uint64_t line_addr, bool write, MemCompletion done,
+                 std::uint64_t now);
+
+    /** Advance one cycle: start bank services, fire due completions. */
+    void tick(std::uint64_t now);
+
+    /** True when all queues and in-flight services are empty. */
+    bool idle() const;
+
+    /** Mean row-buffer accesses per activation so far (Fig 14 metric). */
+    double rowLocality() const;
+
+  private:
+    struct Request
+    {
+        std::uint64_t lineAddr;
+        std::uint64_t row;
+        bool write;
+        MemCompletion done;
+        std::uint64_t arrival;
+    };
+
+    struct Bank
+    {
+        std::deque<Request> queue;
+        std::uint64_t openRow = ~0ULL;
+        bool rowValid = false;
+        std::uint64_t readyAt = 0;
+    };
+
+    struct PendingDone
+    {
+        std::uint64_t ready;
+        std::uint64_t seq;
+        MemCompletion done;
+        bool operator>(const PendingDone &o) const
+        {
+            return ready != o.ready ? ready > o.ready : seq > o.seq;
+        }
+    };
+
+    unsigned bankOf(std::uint64_t line_addr) const;
+    std::uint64_t rowOf(std::uint64_t line_addr) const;
+
+    DramParams params_;
+    std::vector<Bank> banks_;
+    std::priority_queue<PendingDone, std::vector<PendingDone>,
+                        std::greater<>> ready_;
+    std::uint64_t seq_ = 0;
+    std::size_t inService_ = 0;
+
+    Stat &statAccesses_;
+    Stat &statActivations_;
+    Stat &statRowHits_;
+};
+
+} // namespace hsu
+
+#endif // HSU_MEM_DRAM_HH

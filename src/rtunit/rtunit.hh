@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Timing model of the RT unit / Hierarchical Search Unit (Figure 4).
+ *
+ * One unit per SM, shared by the four sub-cores through a round-robin
+ * dispatch arbiter (one warp instruction sequence accepted per cycle).
+ * Dispatched instructions occupy a *warp buffer* entry while a FIFO
+ * memory-access queue gathers each active thread's node operands from
+ * the L1D (one access per cycle, time-shared with the LSU; same-line
+ * requests are merged by the fetch engine — the CISC coalescing Fig 12
+ * credits). Once gathered, the entry is scheduled into the unified
+ * single-lane datapath: one thread-beat per cycle, 9-stage fixed-
+ * latency pipeline, inactive lanes skipped. A result buffer writes
+ * back to the register file when the whole warp instruction drains.
+ *
+ * Multi-beat accumulate sequences (Section IV-F) are modeled as one
+ * warp-buffer entry that streams its beats through the datapath
+ * back-to-back. This structurally enforces the paper's constraint that
+ * no other warp's instructions enter the datapath between the first
+ * accumulate beat and the final accumulate=0 beat, while letting the
+ * other warp-buffer entries gather operands concurrently — the
+ * memory-level parallelism the warp buffer exists to provide.
+ */
+
+#ifndef HSU_RTUNIT_RTUNIT_HH
+#define HSU_RTUNIT_RTUNIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "hsu/isa.hh"
+#include "mem/cache.hh"
+#include "sim/trace.hh"
+
+namespace hsu
+{
+
+/** RT/HSU unit timing parameters. */
+struct RtUnitParams
+{
+    unsigned warpBufferSize = 8;
+    unsigned pipelineDepth = 9;
+    /** Merge same-line operand fetches in the CISC fetch engine
+     *  (disable only for the bench/ablation_unit study). */
+    bool fetchMerging = true;
+    std::string name = "rtu";
+};
+
+/** Per-SM RT/HSU unit timing model. */
+class RtUnit
+{
+  public:
+    RtUnit(RtUnitParams params, Cache &l1, StatGroup &stats);
+
+    /**
+     * Attempt to dispatch one warp HSU instruction (the full multi-
+     * beat sequence) into a warp buffer entry.
+     *
+     * @param sub_core  issuing sub-core (arbiter granularity)
+     * @param warp_id   SM-unique warp slot of the issuing warp
+     * @param trace     the warp's trace (for lane addresses)
+     * @param op        the HSU trace op
+     * @param on_done   fires at final writeback
+     * @return false when rejected (no free entry / arbiter busy)
+     */
+    bool tryDispatch(unsigned sub_core, unsigned warp_id,
+                     const WarpTrace &trace, const TraceOp &op,
+                     MemCompletion on_done, std::uint64_t now);
+
+    /** True when the FIFO memory queue wants the L1 port. */
+    bool wantsAccess() const { return !fifo_.empty(); }
+
+    /** Advance one cycle. @p port_granted gives this unit the L1 port. */
+    void tick(bool port_granted, std::uint64_t now);
+
+    /** True when no entry, request, or in-flight result remains. */
+    bool drained() const;
+
+    /** Busy-cycle count so far (datapath issuing). */
+    double busyCycles() const { return statBusyCycles_.value(); }
+
+  private:
+    enum class EntryState : std::uint8_t
+    {
+        Free,
+        Gathering, //!< waiting for node operands from memory
+        Ready,     //!< operands gathered; awaiting the datapath
+        Issuing    //!< thread-beats streaming into the datapath
+    };
+
+    struct Entry
+    {
+        EntryState state = EntryState::Free;
+        unsigned warpId = 0;
+        unsigned subCore = 0;
+        std::uint64_t seq = 0;
+        HsuMode mode = HsuMode::RayBox;
+        unsigned beats = 1;
+        unsigned lanes = 0;
+        unsigned pendingLines = 0;
+        std::uint64_t issueEndsAt = 0;
+        MemCompletion onDone;
+    };
+
+    struct Writeback
+    {
+        std::uint64_t ready;
+        std::uint64_t seq;
+        HsuMode mode;
+        unsigned beats;
+        MemCompletion done;
+        bool operator>(const Writeback &o) const
+        {
+            return ready != o.ready ? ready > o.ready : seq > o.seq;
+        }
+    };
+
+    struct FifoReq
+    {
+        std::uint64_t line;
+        /** >= 0: unmerged request owned by one entry (merging off). */
+        std::int32_t entryIdx = -1;
+    };
+
+    unsigned freeEntries(std::uint64_t now) const;
+    int findFreeEntry(std::uint64_t now);
+    int selectReadyEntry() const;
+    void startIssue(std::size_t idx, std::uint64_t now);
+    void lineArrived(std::uint64_t line);
+
+    RtUnitParams params_;
+    Cache &l1_;
+    std::vector<Entry> entries_;
+    std::deque<FifoReq> fifo_;
+    std::priority_queue<Writeback, std::vector<Writeback>,
+                        std::greater<>> writebacks_;
+    /** In-flight node-fetch lines -> entries waiting on them. */
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+        pendingLines_;
+
+    // Dispatch arbiter state: one acceptance per cycle.
+    std::uint64_t lastDispatchCycle_ = ~0ULL;
+    bool dispatchedThisCycle_ = false;
+
+    // Datapath occupancy.
+    std::uint64_t datapathBusyUntil_ = 0;
+
+    std::uint64_t seq_ = 0;
+
+    Stat &statDispatched_;
+    Stat &statCompleted_;
+    Stat &statCompletedBox_;
+    Stat &statCompletedTri_;
+    Stat &statCompletedEuclid_;
+    Stat &statCompletedAngular_;
+    Stat &statCompletedKeyCmp_;
+    Stat &statBusyCycles_;
+    Stat &statMemRequests_;
+    Stat &statRejectNoEntry_;
+    Stat &statRejectArbiter_;
+};
+
+} // namespace hsu
+
+#endif // HSU_RTUNIT_RTUNIT_HH

@@ -1,0 +1,272 @@
+#include "search/ggnn.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+namespace
+{
+
+/** Active mask with the low @p n lanes set. */
+std::uint32_t
+lowLanes(unsigned n)
+{
+    hsu_assert(n <= kWarpSize, "too many lanes: ", n);
+    return n == kWarpSize ? kFullMask : ((1u << n) - 1u);
+}
+
+} // namespace
+
+GgnnKernel::GgnnKernel(const HnswGraph &graph, GgnnConfig cfg)
+    : graph_(graph), cfg_(cfg)
+{
+    const PointSet &pts = graph.points();
+    pointsLayout_ = PointArrayLayout(alloc_, pts);
+    adjLayout_.reserve(graph.numLayers());
+    for (unsigned l = 0; l < graph.numLayers(); ++l) {
+        adjLayout_.emplace_back(alloc_, pts.size(),
+                                graph.layerDegree(l) * 4u, 64);
+    }
+    queryLayout_ = PointArrayLayout(alloc_, 65536, pts.dim());
+    resultBase_ = alloc_.allocate(65536ull * cfg_.k * 8, 128);
+}
+
+/** Per-query emission context. */
+struct GgnnKernel::EmitCtx
+{
+    TraceBuilder &tb;
+    KernelVariant variant;
+    const DatapathConfig &dp;
+    const float *query;
+    std::uint64_t queryIdx;
+    std::uint64_t distanceTests = 0;
+};
+
+void
+GgnnKernel::emitDistanceBatch(EmitCtx &ctx,
+                              const std::vector<std::uint32_t> &cands,
+                              std::uint32_t consume_token_mask,
+                              std::vector<float> &dists_out) const
+{
+    const PointSet &pts = graph_.points();
+    const unsigned dim = pts.dim();
+    const Metric metric = graph_.metric();
+    const unsigned m = static_cast<unsigned>(cands.size());
+    hsu_assert(m >= 1 && m <= kWarpSize, "bad candidate batch size ", m);
+
+    // Functional evaluation.
+    dists_out.resize(m);
+    for (unsigned i = 0; i < m; ++i) {
+        dists_out[i] =
+            metricDist(metric, ctx.query, pts[cands[i]], dim);
+    }
+    ctx.distanceTests += m;
+
+    if (ctx.variant == KernelVariant::Hsu) {
+        // One candidate per lane; one (multi-beat) HSU instruction.
+        std::uint64_t addrs[kWarpSize] = {};
+        for (unsigned i = 0; i < m; ++i)
+            addrs[i] = pointsLayout_.pointAddr(cands[i]);
+        const bool angular = metric == Metric::Angular;
+        const HsuMode mode =
+            angular ? HsuMode::Angular : HsuMode::Euclid;
+        const unsigned beats = angular ? ctx.dp.angularBeats(dim)
+                                       : ctx.dp.euclidBeats(dim);
+        const std::uint8_t tok = ctx.tb.hsuOp(
+            angular ? HsuOpcode::PointAngular : HsuOpcode::PointEuclid,
+            mode, addrs, ctx.dp.bytesPerBeat(mode), beats, lowLanes(m),
+            consume_token_mask);
+        // Angular: the scalar rsqrt/divide runs on the SM (eq. 2).
+        ctx.tb.alu(angular ? 4 : 1, lowLanes(m),
+                   TraceBuilder::tokenMask(tok));
+        return;
+    }
+
+    // Baseline: candidates processed one at a time, warp-cooperatively
+    // (32 lanes stride the dimensions; coalesced loads + FMA blocks +
+    // a log2(32)-step shuffle reduction). Instruction counts follow
+    // the SASS the kernel actually executes — per 128B chunk: the
+    // load, the (vectorized) subtract/FMA pair, address updates, and
+    // loop predication; then the shuffle reduction and epilogue.
+    const unsigned chunk_loads =
+        std::max(1u, (dim * 4 + 127) / 128); // 128B per coalesced load
+    // Angular needs two accumulators (dot product + candidate norm,
+    // eqs. 3-4) and two shuffle reductions, so its per-chunk and
+    // reduction blocks are roughly double the euclid ones.
+    const unsigned per_chunk_alu =
+        graph_.metric() == Metric::Angular ? 13 : 7;
+    const unsigned reduce_ops =
+        graph_.metric() == Metric::Angular ? 18 : 10;
+    for (unsigned i = 0; i < m; ++i) {
+        const std::uint64_t base = pointsLayout_.pointAddr(cands[i]);
+        std::uint32_t toks = consume_token_mask;
+        for (unsigned c = 0; c < chunk_loads; ++c) {
+            const std::uint8_t t = ctx.tb.loadPattern(
+                base + c * 128ull, 4, 4, kFullMask, true);
+            toks |= TraceBuilder::tokenMask(t);
+            ctx.tb.alu(per_chunk_alu, kFullMask, 0, true);
+        }
+        ctx.tb.alu(reduce_ops, kFullMask, toks, true);
+        // Non-offloadable epilogue: keep/compare the candidate.
+        ctx.tb.alu(2, kFullMask);
+    }
+}
+
+GgnnRun
+GgnnKernel::run(const PointSet &queries, KernelVariant variant,
+                const DatapathConfig &dp) const
+{
+    const PointSet &pts = graph_.points();
+    const unsigned dim = pts.dim();
+    hsu_assert(queries.dim() == dim, "query dimensionality mismatch");
+    hsu_assert(queries.size() <= 65536, "query region overflow");
+
+    GgnnRun out;
+    out.results.reserve(queries.size());
+    out.trace.warps.reserve(queries.size());
+
+    const unsigned top = graph_.numLayers() - 1;
+
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        out.trace.warps.emplace_back();
+        WarpTrace &wt = out.trace.warps.back();
+        TraceBuilder tb(wt);
+        EmitCtx ctx{tb, variant, dp, queries[q], q, 0};
+
+        // Load the query point into registers (coalesced) and
+        // precompute its squared norm for angular search.
+        std::uint32_t qtoks = 0;
+        const unsigned qchunks = std::max(1u, (dim * 4 + 127) / 128);
+        for (unsigned c = 0; c < qchunks; ++c) {
+            qtoks |= TraceBuilder::tokenMask(tb.loadPattern(
+                queryLayout_.pointAddr(q) + c * 128ull, 4, 4));
+        }
+        tb.alu((dim + kWarpSize - 1) / kWarpSize + 6, kFullMask, qtoks);
+
+        // --- Greedy descent through the upper layers ---------------
+        std::uint32_t cur = graph_.entryPoint();
+        float cur_d = metricDist(graph_.metric(), ctx.query, pts[cur],
+                                 dim);
+        ++ctx.distanceTests;
+        for (unsigned l = top; l >= 1; --l) {
+            for (;;) {
+                // Fetch the neighbor row.
+                const unsigned deg = graph_.layerDegree(l);
+                const std::uint8_t ntok = tb.loadPattern(
+                    adjLayout_[l].at(cur), 4, 4, lowLanes(deg));
+                const std::uint32_t *nbrs = graph_.neighbors(l, cur);
+                std::vector<std::uint32_t> cands;
+                for (unsigned j = 0; j < deg; ++j) {
+                    if (nbrs[j] == HnswGraph::kNoNeighbor)
+                        break;
+                    cands.push_back(nbrs[j]);
+                }
+                if (cands.empty())
+                    break;
+                std::vector<float> dists;
+                emitDistanceBatch(ctx, cands,
+                                  TraceBuilder::tokenMask(ntok), dists);
+                // Warp-wide min reduction + pointer update.
+                tb.alu(6);
+                unsigned best = 0;
+                for (unsigned j = 1; j < dists.size(); ++j) {
+                    if (dists[j] < dists[best])
+                        best = j;
+                }
+                if (dists[best] < cur_d) {
+                    cur_d = dists[best];
+                    cur = cands[best];
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // --- Layer-0 beam search (GGNN "parallel cache") ------------
+        using Cand = std::pair<float, std::uint32_t>;
+        std::priority_queue<Cand, std::vector<Cand>, std::greater<>>
+            open;
+        std::priority_queue<Cand> best;
+        std::unordered_set<std::uint32_t> visited;
+        const unsigned ef = std::max(cfg_.ef, cfg_.k);
+
+        open.push({cur_d, cur});
+        best.push({cur_d, cur});
+        visited.insert(cur);
+        // Initialize the shared-memory cache/priority queue.
+        tb.shared(16);
+
+        const unsigned deg0 = graph_.layerDegree(0);
+        while (!open.empty()) {
+            const auto [d, node] = open.top();
+            open.pop();
+            // Pop the best candidate from the shared-memory priority
+            // queue + termination check: the warp-parallel cache
+            // update is a multi-instruction sequence (GGNN's cache is
+            // the dominant non-offloadable cost, Section VI-D).
+            tb.shared(8);
+            tb.alu(4);
+            if (d > best.top().first && best.size() >= ef)
+                break;
+
+            const std::uint8_t ntok = tb.loadPattern(
+                adjLayout_[0].at(node), 4, 4, lowLanes(deg0));
+            const std::uint32_t *nbrs = graph_.neighbors(0, node);
+            std::vector<std::uint32_t> cands;
+            for (unsigned j = 0; j < deg0; ++j) {
+                if (nbrs[j] == HnswGraph::kNoNeighbor)
+                    break;
+                if (visited.insert(nbrs[j]).second)
+                    cands.push_back(nbrs[j]);
+            }
+            // Visited-set filtering in shared memory.
+            tb.shared(4, kFullMask, TraceBuilder::tokenMask(ntok));
+            tb.alu(3);
+            if (cands.empty())
+                continue;
+
+            std::vector<float> dists;
+            emitDistanceBatch(ctx, cands, 0, dists);
+
+            // Insert the surviving candidates into the priority queue
+            // and the K-best cache: this is the non-offloaded queue
+            // maintenance the paper calls out as the limiter.
+            unsigned inserted = 0;
+            for (unsigned j = 0; j < cands.size(); ++j) {
+                if (best.size() < ef || dists[j] < best.top().first) {
+                    open.push({dists[j], cands[j]});
+                    best.push({dists[j], cands[j]});
+                    if (best.size() > ef)
+                        best.pop();
+                    ++inserted;
+                }
+            }
+            tb.shared(4 + 5 * inserted);
+            tb.alu(4 + static_cast<unsigned>(cands.size()));
+        }
+
+        // Extract and store the K best.
+        std::vector<Neighbor> res;
+        while (!best.empty()) {
+            res.push_back({best.top().second, best.top().first});
+            best.pop();
+        }
+        std::sort(res.begin(), res.end());
+        if (res.size() > cfg_.k)
+            res.resize(cfg_.k);
+        tb.shared(2 * cfg_.k);
+        tb.storePattern(resultBase_ + q * cfg_.k * 8, 8, 8,
+                        lowLanes(std::min<unsigned>(cfg_.k, kWarpSize)));
+        out.results.push_back(std::move(res));
+        out.distanceTests += ctx.distanceTests;
+    }
+    return out;
+}
+
+} // namespace hsu

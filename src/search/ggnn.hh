@@ -1,0 +1,93 @@
+/**
+ * @file
+ * GGNN-style graph ANN search kernel with trace emission.
+ *
+ * The paper's headline workload: hierarchical-graph approximate nearest
+ * neighbor search (Groh et al.). Queries map to warps (GGNN assigns a
+ * thread block per query; we model the dominant warp), maintaining a
+ * priority queue of nodes to visit and the current K best in shared
+ * memory ("parallel cache"). The HSU accelerates only the Euclidean /
+ * angular distance evaluations; queue maintenance stays on the SM.
+ *
+ * Baseline traces lower each candidate distance to warp-cooperative
+ * coalesced loads + FMA/reduction blocks; HSU traces lower a whole
+ * neighbor batch to one multi-beat POINT_EUCLID / POINT_ANGULAR
+ * instruction with one candidate per lane.
+ */
+
+#ifndef HSU_SEARCH_GGNN_HH
+#define HSU_SEARCH_GGNN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hsu/isa.hh"
+#include "search/layout.hh"
+#include "sim/trace.hh"
+#include "structures/graph.hh"
+
+namespace hsu
+{
+
+/** Which trace flavor a kernel emits. */
+enum class KernelVariant : std::uint8_t
+{
+    Baseline, //!< non-RT GPU: everything on the SIMD pipelines
+    Hsu       //!< distance/box/key ops offloaded to the HSU
+};
+
+/** GGNN kernel parameters. */
+struct GgnnConfig
+{
+    unsigned k = 10;
+    unsigned ef = 32;            //!< layer-0 beam width
+    HnswParams graphParams{};
+};
+
+/** Execution artifacts: functional results + the emitted trace. */
+struct GgnnRun
+{
+    KernelTrace trace;
+    std::vector<std::vector<Neighbor>> results; //!< per query, sorted
+    std::uint64_t distanceTests = 0;            //!< candidate evals
+};
+
+/** GGNN search kernel bound to a prebuilt graph. */
+class GgnnKernel
+{
+  public:
+    /**
+     * @param graph  prebuilt hierarchical graph (must outlive kernel)
+     * @param cfg    search parameters
+     */
+    GgnnKernel(const HnswGraph &graph, GgnnConfig cfg);
+
+    /**
+     * Run all @p queries functionally and emit the warp traces.
+     * One warp per query.
+     */
+    GgnnRun run(const PointSet &queries, KernelVariant variant,
+                const DatapathConfig &dp = DatapathConfig{}) const;
+
+  private:
+    struct EmitCtx;
+
+    /** Evaluate distances from the query to @p cands, emitting either
+     *  the baseline instruction sequence or one HSU instruction. */
+    void emitDistanceBatch(EmitCtx &ctx,
+                           const std::vector<std::uint32_t> &cands,
+                           std::uint32_t consume_token_mask,
+                           std::vector<float> &dists_out) const;
+
+    const HnswGraph &graph_;
+    GgnnConfig cfg_;
+    PointArrayLayout pointsLayout_;
+    std::vector<RecordArrayLayout> adjLayout_; //!< per layer
+    PointArrayLayout queryLayout_;
+    std::uint64_t resultBase_ = 0;
+    AddressAllocator alloc_;
+};
+
+} // namespace hsu
+
+#endif // HSU_SEARCH_GGNN_HH

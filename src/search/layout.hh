@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Simulated device-memory layouts for the search structures.
+ *
+ * Kernels execute functionally over the native C++ structures, but the
+ * traces they emit must reference the addresses the data would occupy
+ * in GPU global memory. These helpers pin each array to a region of the
+ * simulated address space.
+ */
+
+#ifndef HSU_SEARCH_LAYOUT_HH
+#define HSU_SEARCH_LAYOUT_HH
+
+#include <cstdint>
+
+#include "sim/addrspace.hh"
+#include "structures/pointset.hh"
+
+namespace hsu
+{
+
+/**
+ * A dense point array in device memory. Points are padded to a 64-byte
+ * multiple so every multi-beat HSU operand fetch is line-aligned; the
+ * same padded layout is used for baseline runs so the comparison is
+ * fair.
+ */
+struct PointArrayLayout
+{
+    std::uint64_t base = 0;
+    unsigned strideBytes = 0;
+
+    PointArrayLayout() = default;
+
+    PointArrayLayout(AddressAllocator &alloc, std::uint64_t count,
+                     unsigned dim)
+    {
+        // float4 packing for small points (the standard GPU layout —
+        // tight 12B float3 packing straddles lines on gathers);
+        // high-dimensional points pad to a line multiple so every HSU
+        // beat is line-aligned.
+        strideBytes = dim <= 4 ? 16 : ((dim * 4) + 63) / 64 * 64;
+        base = alloc.allocate(count * strideBytes, 128);
+    }
+
+    PointArrayLayout(AddressAllocator &alloc, const PointSet &points)
+        : PointArrayLayout(alloc, points.size(), points.dim())
+    {
+    }
+
+    /** Device address of point @p i. */
+    std::uint64_t pointAddr(std::uint64_t i) const
+    { return base + i * strideBytes; }
+};
+
+/** A plain array of fixed-size records (nodes, adjacency rows...). */
+struct RecordArrayLayout
+{
+    std::uint64_t base = 0;
+    unsigned strideBytes = 0;
+
+    RecordArrayLayout() = default;
+
+    RecordArrayLayout(AddressAllocator &alloc, std::uint64_t count,
+                      unsigned record_bytes, unsigned align = 128)
+        : strideBytes(record_bytes)
+    {
+        base = alloc.allocate(count * record_bytes, align);
+    }
+
+    /** Device address of record @p i. */
+    std::uint64_t at(std::uint64_t i) const
+    { return base + i * strideBytes; }
+};
+
+} // namespace hsu
+
+#endif // HSU_SEARCH_LAYOUT_HH

@@ -1,0 +1,134 @@
+#include "search/pipeline.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+RayPipeline::RayPipeline(const Bvh4 &bvh,
+                         const std::vector<Triangle> &tris)
+    : bvh_(bvh), tris_(tris)
+{
+}
+
+RayPipeline &
+RayPipeline::onRayGen(RayGenFn f)
+{
+    rayGen_ = std::move(f);
+    return *this;
+}
+
+RayPipeline &
+RayPipeline::onIntersection(IntersectionFn f)
+{
+    intersection_ = std::move(f);
+    return *this;
+}
+
+RayPipeline &
+RayPipeline::onAnyHit(AnyHitFn f)
+{
+    anyHit_ = std::move(f);
+    return *this;
+}
+
+RayPipeline &
+RayPipeline::onClosestHit(ClosestHitFn f)
+{
+    closestHit_ = std::move(f);
+    return *this;
+}
+
+RayPipeline &
+RayPipeline::onMiss(MissFn f)
+{
+    miss_ = std::move(f);
+    return *this;
+}
+
+TriHit
+RayPipeline::traceRay(const Ray &ray, unsigned ray_index,
+                      PipelineStats *stats) const
+{
+    const PreparedRay pr(ray);
+    TriHit best;
+    float best_t = ray.tmax;
+    bool terminated = false;
+
+    if (bvh_.size() == 0)
+        return best;
+
+    std::vector<std::uint32_t> stack{bvh_.root()};
+    while (!stack.empty() && !terminated) {
+        const std::uint32_t node_idx = stack.back();
+        stack.pop_back();
+        if (stats)
+            ++stats->boxNodesVisited;
+        // Hardware RAY_INTERSECT: four slab tests, sorted near-first.
+        const BoxIntersectResult r =
+            rayIntersectBox(pr, bvh_.nodes()[node_idx]);
+        // Push far-to-near so the near child pops first.
+        for (int i = static_cast<int>(r.hits) - 1; i >= 0 && !terminated;
+             --i) {
+            const auto slot = static_cast<unsigned>(i);
+            if (r.tEnter[slot] > best_t)
+                continue;
+            const std::uint32_t ref = r.sortedChild[slot];
+            if (!childIsLeaf(ref)) {
+                stack.push_back(childIndex(ref));
+                continue;
+            }
+            // Leaf: the IS program, or the hardware triangle test.
+            const std::uint32_t prim = childIndex(ref);
+            if (stats)
+                ++stats->primitiveTests;
+            TriHit h;
+            if (intersection_) {
+                h = intersection_(pr, prim);
+            } else {
+                TriNode node;
+                node.tri = tris_[prim];
+                h = rayIntersectTri(pr, node);
+            }
+            if (!h.hit || h.t() >= best_t || h.t() < ray.tmin)
+                continue;
+            // AH program filters / terminates.
+            AnyHitDecision d = AnyHitDecision::Accept;
+            if (anyHit_)
+                d = anyHit_(ray_index, h);
+            if (d == AnyHitDecision::Ignore)
+                continue;
+            best = h;
+            best_t = h.t();
+            if (d == AnyHitDecision::Terminate)
+                terminated = true;
+        }
+    }
+    return best;
+}
+
+PipelineStats
+RayPipeline::trace(unsigned num_rays) const
+{
+    hsu_assert(rayGen_, "trace() without a ray-generation program");
+    PipelineStats stats;
+    stats.rays = num_rays;
+    for (unsigned i = 0; i < num_rays; ++i) {
+        const Ray ray = rayGen_(i);
+        const TriHit h = traceRay(ray, i, &stats);
+        if (h.hit) {
+            ++stats.hits;
+            if (closestHit_)
+                closestHit_(i, h);
+        } else {
+            ++stats.misses;
+            if (miss_)
+                miss_(i);
+        }
+    }
+    return stats;
+}
+
+} // namespace hsu

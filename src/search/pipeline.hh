@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The baseline RT unit's graphics programming model (Fig 3 / §III-A).
+ *
+ * The HSU is ISA-compatible with the graphics ray-tracing interface,
+ * so the library also exposes the classic pipeline: user-defined
+ * ray-generation, intersection, any-hit, closest-hit, and miss
+ * programs wrapped around hardware BVH traversal. This mirrors the
+ * Optix/Vulkan callback structure the paper contrasts against its
+ * compute interface — useful both for graphics workloads and for the
+ * "reformulation era" software techniques (RTNN-style) the paper cites.
+ */
+
+#ifndef HSU_SEARCH_PIPELINE_HH
+#define HSU_SEARCH_PIPELINE_HH
+
+#include <functional>
+
+#include "hsu/functional.hh"
+#include "structures/lbvh.hh"
+
+namespace hsu
+{
+
+/** Any-hit program verdict for a candidate intersection. */
+enum class AnyHitDecision : std::uint8_t
+{
+    Accept,    //!< keep the hit (still continue for a closer one)
+    Ignore,    //!< reject this intersection, keep traversing
+    Terminate, //!< accept and stop traversal (e.g. shadow rays)
+};
+
+/** Traversal statistics for one trace() launch. */
+struct PipelineStats
+{
+    std::uint64_t rays = 0;
+    std::uint64_t boxNodesVisited = 0;
+    std::uint64_t primitiveTests = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * The fixed-function pipeline of Fig 3 with user program hooks.
+ *
+ * The geometry is a BVH4 over triangle primitives. If no intersection
+ * program is set, the hardware watertight ray-triangle test runs (the
+ * IS program is optional in the real pipeline too).
+ */
+class RayPipeline
+{
+  public:
+    /** RG: produce the i-th ray of the launch. */
+    using RayGenFn = std::function<Ray(unsigned ray_index)>;
+    /** IS: custom primitive test (e.g. spheres); returns a TriHit-
+     *  shaped result with `hit`, `tNum`, `tDenom` filled in. */
+    using IntersectionFn =
+        std::function<TriHit(const PreparedRay &, std::uint32_t prim)>;
+    /** AH: filter every found intersection. */
+    using AnyHitFn =
+        std::function<AnyHitDecision(unsigned ray_index, const TriHit &)>;
+    /** CH: invoked once per ray with the final closest hit. */
+    using ClosestHitFn =
+        std::function<void(unsigned ray_index, const TriHit &)>;
+    /** Miss: invoked when a ray hits nothing. */
+    using MissFn = std::function<void(unsigned ray_index)>;
+
+    /** Bind the scene. Both references must outlive the pipeline. */
+    RayPipeline(const Bvh4 &bvh, const std::vector<Triangle> &tris);
+
+    RayPipeline &onRayGen(RayGenFn f);
+    RayPipeline &onIntersection(IntersectionFn f);
+    RayPipeline &onAnyHit(AnyHitFn f);
+    RayPipeline &onClosestHit(ClosestHitFn f);
+    RayPipeline &onMiss(MissFn f);
+
+    /**
+     * Launch @p num_rays rays through the pipeline.
+     * @pre a ray-generation program is bound.
+     */
+    PipelineStats trace(unsigned num_rays) const;
+
+    /** Trace one explicit ray (bypasses RG). @return the closest hit. */
+    TriHit traceRay(const Ray &ray, unsigned ray_index = 0,
+                    PipelineStats *stats = nullptr) const;
+
+  private:
+    const Bvh4 &bvh_;
+    const std::vector<Triangle> &tris_;
+    RayGenFn rayGen_;
+    IntersectionFn intersection_;
+    AnyHitFn anyHit_;
+    ClosestHitFn closestHit_;
+    MissFn miss_;
+};
+
+} // namespace hsu
+
+#endif // HSU_SEARCH_PIPELINE_HH

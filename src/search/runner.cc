@@ -1,0 +1,291 @@
+#include "search/runner.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "common/logging.hh"
+#include "search/btree_kernel.hh"
+#include "search/bvhnn.hh"
+#include "search/flann.hh"
+
+namespace hsu
+{
+
+std::string
+toString(Algo algo)
+{
+    switch (algo) {
+      case Algo::Ggnn:
+        return "GGNN";
+      case Algo::Flann:
+        return "FLANN";
+      case Algo::Bvhnn:
+        return "BVH-NN";
+      case Algo::Btree:
+        return "B+Tree";
+    }
+    hsu_panic("unknown algo");
+}
+
+std::vector<DatasetId>
+datasetsForAlgo(Algo algo)
+{
+    switch (algo) {
+      case Algo::Ggnn: {
+        std::vector<DatasetId> out;
+        for (const auto &d : datasetsOfKind(DatasetKind::HighDim))
+            out.push_back(d.id);
+        return out;
+      }
+      case Algo::Flann:
+      case Algo::Bvhnn: {
+        std::vector<DatasetId> out;
+        for (const auto &d : datasetsOfKind(DatasetKind::Point3d))
+            out.push_back(d.id);
+        return out;
+      }
+      case Algo::Btree: {
+        std::vector<DatasetId> out;
+        for (const auto &d : datasetsOfKind(DatasetKind::Keys))
+            out.push_back(d.id);
+        return out;
+      }
+    }
+    hsu_panic("unknown algo");
+}
+
+std::string
+workloadLabel(Algo algo, const DatasetInfo &info)
+{
+    if (algo == Algo::Flann)
+        return "F-" + info.abbr;
+    if (algo == Algo::Bvhnn)
+        return "B-" + info.abbr;
+    return info.abbr;
+}
+
+RunnerOptions
+optionsFor(const DatasetInfo &info, double scale)
+{
+    RunnerOptions opts;
+    if (info.dim > 128) {
+        // High-dimensional traces carry ~dim ops per candidate; keep
+        // total trace size roughly constant across datasets.
+        opts.ggnnQueries = std::max(
+            32u, static_cast<unsigned>(128.0 * 128.0 / info.dim));
+    }
+    auto apply = [scale](unsigned v) {
+        return std::max(32u, static_cast<unsigned>(v * scale));
+    };
+    opts.ggnnQueries = apply(opts.ggnnQueries);
+    opts.pointQueries = apply(opts.pointQueries);
+    opts.keyQueries = apply(opts.keyQueries);
+    return opts;
+}
+
+double
+quickScale()
+{
+    const char *q = std::getenv("HSU_QUICK");
+    return (q != nullptr && q[0] != '\0' && q[0] != '0') ? 0.25 : 1.0;
+}
+
+float
+pickRadius(const PointSet &points, std::uint64_t seed)
+{
+    // Median nearest-neighbor spacing over a small deterministic
+    // sample, doubled (RTNN builds leaves at 2x the search radius; we
+    // fold that into the radius choice).
+    Rng rng(seed);
+    const std::size_t samples =
+        std::min<std::size_t>(64, points.size());
+    std::vector<float> nn;
+    nn.reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+        const std::size_t i = rng.nextBounded(points.size());
+        float best = std::numeric_limits<float>::infinity();
+        for (std::size_t j = 0; j < points.size(); ++j) {
+            if (j == i)
+                continue;
+            best = std::min(best,
+                            pointDist2(points[i], points[j], 3));
+        }
+        nn.push_back(std::sqrt(best));
+    }
+    std::nth_element(nn.begin(), nn.begin() + nn.size() / 2, nn.end());
+    return 2.0f * nn[nn.size() / 2];
+}
+
+namespace
+{
+
+/** Memoized per-dataset assets (indexes are expensive to build). */
+struct GgnnAssets
+{
+    PointSet points;
+    PointSet queries;
+    std::unique_ptr<HnswGraph> graph;
+    std::unique_ptr<GgnnKernel> kernel;
+};
+
+struct PointAssets
+{
+    PointSet points;
+    PointSet queries;
+    float radius = 0.0f;
+    std::unique_ptr<Lbvh> bvh;
+    std::unique_ptr<BvhnnKernel> bvhKernel;
+    std::unique_ptr<KdTree> kdtree;
+    std::unique_ptr<FlannKernel> flannKernel;
+};
+
+struct KeyAssets
+{
+    std::vector<std::uint32_t> queries;
+    std::unique_ptr<BTree> tree;
+    std::unique_ptr<BtreeKernel> kernel;
+};
+
+GgnnAssets &
+ggnnAssets(DatasetId id, const RunnerOptions &opts)
+{
+    static std::map<DatasetId, GgnnAssets> cache;
+    auto it = cache.find(id);
+    if (it != cache.end()) {
+        if (it->second.queries.size() != opts.ggnnQueries) {
+            it->second.queries =
+                generateQueries(datasetInfo(id), opts.ggnnQueries);
+        }
+        return it->second;
+    }
+    const DatasetInfo &info = datasetInfo(id);
+    // Build in place: the graph/kernel hold references into the
+    // map-resident PointSet, so it must never move after build.
+    GgnnAssets &a = cache[id];
+    a.points = generatePoints(info);
+    a.queries = generateQueries(info, opts.ggnnQueries);
+    a.graph = std::make_unique<HnswGraph>(
+        HnswGraph::build(a.points, info.metric));
+    a.kernel = std::make_unique<GgnnKernel>(*a.graph, GgnnConfig{});
+    return a;
+}
+
+PointAssets &
+pointAssets(DatasetId id, const RunnerOptions &opts)
+{
+    static std::map<DatasetId, PointAssets> cache;
+    auto it = cache.find(id);
+    if (it != cache.end()) {
+        if (it->second.queries.size() != opts.pointQueries) {
+            it->second.queries =
+                generateQueries(datasetInfo(id), opts.pointQueries);
+        }
+        return it->second;
+    }
+    const DatasetInfo &info = datasetInfo(id);
+    PointAssets &a = cache[id];
+    a.points = generatePoints(info);
+    a.queries = generateQueries(info, opts.pointQueries);
+    a.radius = pickRadius(a.points);
+    a.bvh = std::make_unique<Lbvh>(
+        Lbvh::buildFromPoints(a.points, a.radius));
+    a.bvhKernel = std::make_unique<BvhnnKernel>(
+        a.points, *a.bvh, BvhnnConfig{a.radius});
+    a.kdtree = std::make_unique<KdTree>(KdTree::build(a.points, 16));
+    a.flannKernel = std::make_unique<FlannKernel>(*a.kdtree);
+    return a;
+}
+
+KeyAssets &
+keyAssets(DatasetId id, const RunnerOptions &opts)
+{
+    static std::map<DatasetId, KeyAssets> cache;
+    auto it = cache.find(id);
+    if (it != cache.end()) {
+        if (it->second.queries.size() != opts.keyQueries) {
+            it->second.queries =
+                generateKeyQueries(datasetInfo(id), opts.keyQueries);
+        }
+        return it->second;
+    }
+    const DatasetInfo &info = datasetInfo(id);
+    KeyAssets &a = cache[id];
+    a.queries = generateKeyQueries(info, opts.keyQueries);
+    auto keys = generateKeys(info);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    pairs.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        pairs.emplace_back(keys[i], static_cast<std::uint32_t>(i));
+    a.tree = std::make_unique<BTree>(BTree::build(std::move(pairs)));
+    a.kernel = std::make_unique<BtreeKernel>(*a.tree);
+    return a;
+}
+
+KernelTrace
+emitTrace(Algo algo, DatasetId id, KernelVariant variant,
+          const DatapathConfig &dp, const RunnerOptions &opts)
+{
+    switch (algo) {
+      case Algo::Ggnn: {
+        auto &a = ggnnAssets(id, opts);
+        return a.kernel->run(a.queries, variant, dp).trace;
+      }
+      case Algo::Flann: {
+        auto &a = pointAssets(id, opts);
+        return a.flannKernel->run(a.queries, variant, dp).trace;
+      }
+      case Algo::Bvhnn: {
+        auto &a = pointAssets(id, opts);
+        return a.bvhKernel->run(a.queries, variant, dp).trace;
+      }
+      case Algo::Btree: {
+        auto &a = keyAssets(id, opts);
+        return a.kernel->run(a.queries, variant, dp).trace;
+      }
+    }
+    hsu_panic("unknown algo");
+}
+
+} // namespace
+
+RunResult
+runHsuOnly(Algo algo, DatasetId dataset, const GpuConfig &gpu,
+           const RunnerOptions &opts, StatGroup &stats)
+{
+    GpuConfig cfg = gpu;
+    cfg.rtUnitEnabled = true;
+    const KernelTrace trace =
+        emitTrace(algo, dataset, KernelVariant::Hsu, cfg.datapath, opts);
+    return simulateKernel(cfg, trace, stats);
+}
+
+RunResult
+runBaseOnly(Algo algo, DatasetId dataset, const GpuConfig &gpu,
+            const RunnerOptions &opts, StatGroup &stats)
+{
+    GpuConfig cfg = gpu;
+    cfg.rtUnitEnabled = false;
+    const KernelTrace trace = emitTrace(algo, dataset,
+                                        KernelVariant::Baseline,
+                                        cfg.datapath, opts);
+    return simulateKernel(cfg, trace, stats);
+}
+
+WorkloadResult
+runWorkload(Algo algo, DatasetId dataset, const GpuConfig &gpu,
+            const RunnerOptions &opts)
+{
+    WorkloadResult out;
+    out.algo = algo;
+    out.dataset = dataset;
+    out.label = workloadLabel(algo, datasetInfo(dataset));
+    out.base = runBaseOnly(algo, dataset, gpu, opts, out.baseStats);
+    out.hsu = runHsuOnly(algo, dataset, gpu, opts, out.hsuStats);
+    return out;
+}
+
+} // namespace hsu

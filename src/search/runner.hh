@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Experiment glue: dataset -> index -> kernel -> baseline + HSU
+ * simulations. Every bench binary drives its figure through these
+ * helpers; indexes are memoized per dataset so sweeps don't rebuild.
+ */
+
+#ifndef HSU_SEARCH_RUNNER_HH
+#define HSU_SEARCH_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "search/ggnn.hh"
+#include "sim/config.hh"
+#include "sim/gpu.hh"
+#include "workloads/datasets.hh"
+
+namespace hsu
+{
+
+/** The four evaluated search algorithms (Section V-A). */
+enum class Algo : std::uint8_t
+{
+    Ggnn,  //!< hierarchical graph ANN
+    Flann, //!< k-d tree ANN (3-D)
+    Bvhnn, //!< LBVH radius nearest neighbor (3-D)
+    Btree, //!< B+tree key-value lookups
+};
+
+std::string toString(Algo algo);
+
+/** Query-count knobs (scaled for simulator runtimes). */
+struct RunnerOptions
+{
+    unsigned ggnnQueries = 128;
+    unsigned pointQueries = 4096;
+    unsigned keyQueries = 8192;
+};
+
+/**
+ * Default options for one dataset, scaled so trace sizes stay bounded
+ * (very high-dimensional datasets emit far more ops per query), and
+ * shrunk further by @p scale (bench binaries honor HSU_QUICK=1 via
+ * quickScale()).
+ */
+RunnerOptions optionsFor(const DatasetInfo &info, double scale = 1.0);
+
+/** 0.25 when the HSU_QUICK environment variable is set, else 1.0. */
+double quickScale();
+
+/** Results of one dataset x algorithm experiment. */
+struct WorkloadResult
+{
+    Algo algo;
+    DatasetId dataset;
+    std::string label;    //!< figure label ("D1B", "F-BUN", "B-BUN"...)
+    RunResult base;       //!< non-RT baseline GPU
+    RunResult hsu;        //!< HSU-enabled GPU
+    StatGroup baseStats;  //!< full counter dumps for memory figures
+    StatGroup hsuStats;
+
+    /** Fig 9 metric: baseline cycles / HSU cycles. */
+    double
+    speedup() const
+    {
+        return hsu.cycles ? static_cast<double>(base.cycles) /
+                                static_cast<double>(hsu.cycles)
+                          : 0.0;
+    }
+};
+
+/**
+ * Run one (algorithm, dataset) experiment under @p gpu (an HSU-enabled
+ * config; the baseline run disables the RT unit on a copy).
+ */
+WorkloadResult runWorkload(Algo algo, DatasetId dataset,
+                           const GpuConfig &gpu,
+                           const RunnerOptions &opts = RunnerOptions{});
+
+/**
+ * Run only the HSU-side simulation (sweeps that hold the baseline
+ * fixed, e.g. Fig 10 / Fig 11, reuse the memoized baseline cycles from
+ * runWorkload).
+ */
+RunResult runHsuOnly(Algo algo, DatasetId dataset, const GpuConfig &gpu,
+                     const RunnerOptions &opts, StatGroup &stats);
+
+/**
+ * Run only the baseline-side simulation.
+ */
+RunResult runBaseOnly(Algo algo, DatasetId dataset, const GpuConfig &gpu,
+                      const RunnerOptions &opts, StatGroup &stats);
+
+/** Datasets an algorithm is evaluated on (Table II usage). */
+std::vector<DatasetId> datasetsForAlgo(Algo algo);
+
+/** Figure label for (algo, dataset): FLANN/BVH-NN 3-D datasets carry
+ *  the paper's "F-"/"B-" prefixes. */
+std::string workloadLabel(Algo algo, const DatasetInfo &info);
+
+/** Pick a BVH-NN/search radius for a 3-D dataset: twice the median
+ *  nearest-neighbor spacing of a deterministic sample. */
+float pickRadius(const PointSet &points, std::uint64_t seed = 42);
+
+} // namespace hsu
+
+#endif // HSU_SEARCH_RUNNER_HH

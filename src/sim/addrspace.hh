@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Simulated global-memory address allocation.
+ *
+ * Data structures built by the library are native C++ objects; the
+ * timing model only needs the *addresses* their nodes would occupy in
+ * device memory. AddressAllocator hands out aligned, non-overlapping
+ * regions of a flat simulated address space.
+ */
+
+#ifndef HSU_SIM_ADDRSPACE_HH
+#define HSU_SIM_ADDRSPACE_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+/** Bump allocator over the simulated device address space. */
+class AddressAllocator
+{
+  public:
+    /** Start allocation at a non-zero base so address 0 stays invalid. */
+    explicit AddressAllocator(std::uint64_t base = 0x10000)
+        : next_(base)
+    {
+    }
+
+    /**
+     * Allocate @p bytes with the given alignment (power of two).
+     * @return the base address of the region.
+     */
+    std::uint64_t
+    allocate(std::uint64_t bytes, std::uint64_t align = 128)
+    {
+        hsu_assert((align & (align - 1)) == 0, "alignment must be 2^k");
+        next_ = (next_ + align - 1) & ~(align - 1);
+        const std::uint64_t base = next_;
+        next_ += bytes;
+        return base;
+    }
+
+    /** Total bytes spanned so far. */
+    std::uint64_t highWater() const { return next_; }
+
+  private:
+    std::uint64_t next_;
+};
+
+} // namespace hsu
+
+#endif // HSU_SIM_ADDRSPACE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Whole-GPU configuration (Table III of the paper).
+ *
+ * The paper simulates an 80-SM Volta V100. For tractable runtimes we
+ * default to a smaller SM count with identically-configured SMs and
+ * proportionally scaled workloads; all reported figures are relative
+ * (speedups, ratios), which are per-SM-throughput faithful. Set
+ * numSms = 80 to reproduce the full-chip configuration.
+ */
+
+#ifndef HSU_SIM_CONFIG_HH
+#define HSU_SIM_CONFIG_HH
+
+#include <cstdint>
+
+#include "hsu/isa.hh"
+#include "mem/memsys.hh"
+
+namespace hsu
+{
+
+/** Warp-scheduler policies supported by the sub-cores. */
+enum class SchedulerPolicy : std::uint8_t
+{
+    Gto,       //!< greedy-then-oldest (Table III default)
+    RoundRobin //!< loose round-robin (for ablations)
+};
+
+/** Timing and capacity parameters for one SM and the whole GPU. */
+struct GpuConfig
+{
+    // --- Table III parameters -------------------------------------
+    unsigned numSms = 4;          //!< paper: 80 (scaled, see file docs)
+    unsigned subCoresPerSm = 4;
+    SchedulerPolicy scheduler = SchedulerPolicy::Gto;
+    unsigned maxWarpsPerSm = 64;
+    unsigned rtUnitsPerSm = 1;
+    unsigned warpBufferSize = 8;  //!< RT unit warp buffer entries
+    bool rtFetchMerging = true;   //!< CISC fetch line merging (ablation)
+
+    // --- SM pipeline timing ---------------------------------------
+    unsigned aluLatency = 4;      //!< dependent-use latency of ALU ops
+    unsigned sharedLatency = 24;  //!< shared-memory dependent-use latency
+    unsigned lsuQueueSize = 32;   //!< pending line-accesses in the LSU
+
+    // --- RT / HSU unit --------------------------------------------
+    bool rtUnitEnabled = true;    //!< false = non-RT baseline GPU
+    DatapathConfig datapath{};
+
+    // --- Memory hierarchy (L1/L2/DRAM, Table III) ------------------
+    MemSysParams mem{};
+
+    /** Convenience: configure the memory system for numSms L1s. */
+    void
+    finalize()
+    {
+        mem.numL1 = numSms;
+    }
+};
+
+} // namespace hsu
+
+#endif // HSU_SIM_CONFIG_HH

@@ -1,0 +1,80 @@
+#include "sim/gpu.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+Gpu::Gpu(const GpuConfig &cfg, StatGroup &stats)
+    : cfg_(cfg), stats_(stats)
+{
+    cfg_.finalize();
+    mem_ = std::make_unique<MemorySystem>(cfg_.mem, stats_);
+    for (unsigned i = 0; i < cfg_.numSms; ++i)
+        sms_.push_back(std::make_unique<Sm>(cfg_, i, mem_->l1(i),
+                                            stats_));
+}
+
+RunResult
+Gpu::run(const KernelTrace &trace, std::uint64_t max_cycles)
+{
+    // Distribute warps round-robin across SMs (thread-block scheduler).
+    for (std::size_t i = 0; i < trace.warps.size(); ++i)
+        sms_[i % sms_.size()]->addWarp(&trace.warps[i]);
+
+    std::uint64_t now = 0;
+    for (;; ++now) {
+        if (now >= max_cycles) {
+            // Dump forensic state before dying: a wedged simulation is
+            // always a simulator bug.
+            for (const auto &[name, value] : stats_.dump())
+                std::fprintf(stderr, "  %s = %.0f\n", name.c_str(),
+                             value);
+            hsu_panic("simulation exceeded cycle bound ", max_cycles);
+        }
+        mem_->tick(now);
+        for (auto &sm : sms_)
+            sm->tick(now);
+
+        if ((now & 0x3f) == 0) {
+            bool all_done = true;
+            for (auto &sm : sms_) {
+                if (!sm->done()) {
+                    all_done = false;
+                    break;
+                }
+            }
+            if (all_done && mem_->idle())
+                break;
+        }
+    }
+
+    RunResult r;
+    r.cycles = now + 1;
+    r.instrsIssued = stats_.get("sm.instrs_issued");
+    r.hsuCompleted = stats_.get("rtu.completed");
+    r.l2LinesAccessed = stats_.get("l2.lines_accessed");
+    for (unsigned i = 0; i < cfg_.numSms; ++i) {
+        const std::string p = "l1d." + std::to_string(i);
+        r.l1Accesses += stats_.get(p + ".accesses");
+        r.l1Misses += stats_.get(p + ".misses");
+    }
+    r.dramRowLocality = mem_->dram().rowLocality();
+    const double busy = stats_.get("sm.busy_cycles") +
+                        stats_.get("sm.stall_cycles");
+    r.offloadableFraction =
+        busy > 0 ? stats_.get("sm.offloadable_cycles") / busy : 0.0;
+    return r;
+}
+
+RunResult
+simulateKernel(const GpuConfig &cfg, const KernelTrace &trace,
+               StatGroup &stats)
+{
+    Gpu gpu(cfg, stats);
+    return gpu.run(trace);
+}
+
+} // namespace hsu

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Whole-GPU timing simulator: SMs + memory hierarchy, Table III config.
+ */
+
+#ifndef HSU_SIM_GPU_HH
+#define HSU_SIM_GPU_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/memsys.hh"
+#include "sim/config.hh"
+#include "sim/sm.hh"
+#include "sim/trace.hh"
+
+namespace hsu
+{
+
+/** Headline results of one kernel simulation. */
+struct RunResult
+{
+    std::uint64_t cycles = 0;
+    double instrsIssued = 0;
+    double hsuCompleted = 0;       //!< HSU instructions (all modes)
+    double l2LinesAccessed = 0;    //!< roofline denominator
+    double l1Accesses = 0;         //!< summed over SMs
+    double l1Misses = 0;           //!< true misses (MSHR hits excluded)
+    double dramRowLocality = 0;    //!< accesses per row activation
+    double offloadableFraction = 0;//!< Fig 7 metric (baseline runs)
+
+    /** HSU ops completed per cycle (roofline y-axis). */
+    double
+    hsuOpsPerCycle() const
+    {
+        return cycles ? hsuCompleted / static_cast<double>(cycles) : 0.0;
+    }
+
+    /** HSU ops per L2 line accessed (roofline x-axis). */
+    double
+    opsPerL2Line() const
+    {
+        return l2LinesAccessed > 0 ? hsuCompleted / l2LinesAccessed : 0.0;
+    }
+
+    /** L1 miss rate with MSHR merges counted as hits (Section VI-J). */
+    double
+    l1MissRate() const
+    {
+        return l1Accesses > 0 ? l1Misses / l1Accesses : 0.0;
+    }
+};
+
+/**
+ * The simulated GPU. Construct once per kernel run (components carry
+ * run-local state); stats accumulate into the caller's StatGroup.
+ */
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &cfg, StatGroup &stats);
+
+    /**
+     * Simulate a kernel to completion.
+     * @param trace     warps to execute
+     * @param max_cycles safety bound; exceeded -> panic
+     */
+    RunResult run(const KernelTrace &trace,
+                  std::uint64_t max_cycles = 2'000'000'000ULL);
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    GpuConfig cfg_;
+    StatGroup &stats_;
+    std::unique_ptr<MemorySystem> mem_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+};
+
+/** Convenience: simulate a kernel on a fresh GPU and return results. */
+RunResult simulateKernel(const GpuConfig &cfg, const KernelTrace &trace,
+                         StatGroup &stats);
+
+} // namespace hsu
+
+#endif // HSU_SIM_GPU_HH

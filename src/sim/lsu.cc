@@ -1,0 +1,88 @@
+#include "sim/lsu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+std::vector<std::uint64_t>
+coalesceLines(const WarpTrace &trace, const TraceOp &op,
+              unsigned line_bytes)
+{
+    std::vector<std::uint64_t> lines;
+    lines.reserve(8);
+    for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+        if (!(op.activeMask & (1u << lane)))
+            continue;
+        const std::uint64_t addr = trace.laneAddr(op, lane);
+        const std::uint64_t first = addr / line_bytes;
+        const std::uint64_t last =
+            (addr + op.bytesPerLane - 1) / line_bytes;
+        for (std::uint64_t l = first; l <= last; ++l)
+            lines.push_back(l);
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+}
+
+Lsu::Lsu(unsigned queue_capacity, Cache &l1, StatGroup &stats,
+         const std::string &name)
+    : capacity_(queue_capacity), l1_(l1),
+      statInstrs_(stats.scalar(name + ".mem_instrs")),
+      statLineReqs_(stats.scalar(name + ".line_reqs")),
+      statPortCycles_(stats.scalar(name + ".port_cycles")),
+      statRetries_(stats.scalar(name + ".retries"))
+{
+}
+
+bool
+Lsu::issue(const std::vector<std::uint64_t> &lines, bool write,
+           MemCompletion done)
+{
+    hsu_assert(!lines.empty(), "memory instruction with no lines");
+    if (queue_.size() + lines.size() > capacity_)
+        return false;
+
+    ++statInstrs_;
+    statLineReqs_ += static_cast<double>(lines.size());
+
+    auto group = std::make_shared<Group>();
+    group->remaining = static_cast<unsigned>(lines.size());
+    group->done = std::move(done);
+
+    for (const auto line : lines)
+        queue_.push_back(LineReq{line, write, group});
+    return true;
+}
+
+void
+Lsu::tick(bool port_granted, std::uint64_t now)
+{
+    if (!port_granted || queue_.empty())
+        return;
+
+    ++statPortCycles_;
+    LineReq &req = queue_.front();
+    auto group = req.group;
+    const std::uint64_t byte_addr = req.line * l1_.params().lineBytes;
+    const CacheOutcome outcome = l1_.access(
+        byte_addr, req.write,
+        [group]() {
+            if (--group->remaining == 0 && group->done)
+                group->done();
+        },
+        now);
+
+    if (outcome == CacheOutcome::RejectMshrFull ||
+        outcome == CacheOutcome::RejectQueueFull) {
+        // Structural stall; the request stays at the head and retries.
+        ++statRetries_;
+        return;
+    }
+    queue_.pop_front();
+}
+
+} // namespace hsu

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Load-store unit: one per SM, shared by the four sub-cores.
+ *
+ * Coalesces each warp memory instruction's per-lane addresses into
+ * 128-byte line requests, queues them, and presents at most one request
+ * per cycle to the L1D — time-sharing the single L1 port with the RT
+ * unit's FIFO memory access queue (Section VI-H).
+ */
+
+#ifndef HSU_SIM_LSU_HH
+#define HSU_SIM_LSU_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/cache.hh"
+#include "sim/trace.hh"
+
+namespace hsu
+{
+
+/** Coalesce a warp op's lane addresses into unique line numbers. */
+std::vector<std::uint64_t> coalesceLines(const WarpTrace &trace,
+                                         const TraceOp &op,
+                                         unsigned line_bytes);
+
+/** Per-SM load/store unit. */
+class Lsu
+{
+  public:
+    Lsu(unsigned queue_capacity, Cache &l1, StatGroup &stats,
+        const std::string &name);
+
+    /**
+     * Issue one warp memory instruction as a set of line requests.
+     * @param lines    coalesced unique line numbers
+     * @param write    store (fire-and-forget) vs load
+     * @param done     fires when every line has returned (loads)
+     * @return false when the queue lacks space (warp must retry)
+     */
+    bool issue(const std::vector<std::uint64_t> &lines, bool write,
+               MemCompletion done);
+
+    /** True when a line request is waiting for the L1 port. */
+    bool wantsAccess() const { return !queue_.empty(); }
+
+    /** Present at most one request to the L1 if @p port_granted. */
+    void tick(bool port_granted, std::uint64_t now);
+
+    /** True when no request is queued (in-flight L1 side not counted). */
+    bool drained() const { return queue_.empty(); }
+
+  private:
+    struct Group
+    {
+        unsigned remaining;
+        MemCompletion done;
+    };
+
+    struct LineReq
+    {
+        std::uint64_t line;
+        bool write;
+        std::shared_ptr<Group> group;
+    };
+
+    unsigned capacity_;
+    Cache &l1_;
+    std::deque<LineReq> queue_;
+
+    Stat &statInstrs_;
+    Stat &statLineReqs_;
+    Stat &statPortCycles_;
+    Stat &statRetries_;
+};
+
+} // namespace hsu
+
+#endif // HSU_SIM_LSU_HH

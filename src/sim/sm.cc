@@ -1,0 +1,279 @@
+#include "sim/sm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+Sm::Sm(const GpuConfig &cfg, unsigned sm_id, Cache &l1, StatGroup &stats)
+    : cfg_(cfg), smId_(sm_id), l1_(l1),
+      statSlotCycles_(stats.scalar("sm.slot_cycles")),
+      statBusyCycles_(stats.scalar("sm.busy_cycles")),
+      statOffloadableCycles_(stats.scalar("sm.offloadable_cycles")),
+      statStallCycles_(stats.scalar("sm.stall_cycles")),
+      statIdleCycles_(stats.scalar("sm.idle_cycles")),
+      statInstrsIssued_(stats.scalar("sm.instrs_issued")),
+      statWarpsRetired_(stats.scalar("sm.warps_retired"))
+{
+    lsu_ = std::make_unique<Lsu>(cfg.lsuQueueSize, l1, stats, "lsu");
+    if (cfg.rtUnitEnabled) {
+        RtUnitParams rp;
+        rp.warpBufferSize = cfg.warpBufferSize;
+        rp.fetchMerging = cfg.rtFetchMerging;
+        rp.pipelineDepth = cfg.datapath.pipelineDepth;
+        rp.name = "rtu";
+        rt_ = std::make_unique<RtUnit>(rp, l1, stats);
+    }
+
+    warps_.resize(cfg.maxWarpsPerSm);
+    subCores_.resize(cfg.subCoresPerSm);
+    for (unsigned slot = 0; slot < cfg.maxWarpsPerSm; ++slot)
+        subCores_[slot % cfg.subCoresPerSm].slots.push_back(slot);
+}
+
+void
+Sm::addWarp(const WarpTrace *trace)
+{
+    pending_.push_back(trace);
+}
+
+void
+Sm::activatePending()
+{
+    if (pending_.empty())
+        return;
+    for (unsigned slot = 0; slot < warps_.size() && !pending_.empty();
+         ++slot) {
+        WarpCtx &w = warps_[slot];
+        if (w.active)
+            continue;
+        w.trace = pending_.front();
+        pending_.pop_front();
+        w.pc = 0;
+        w.pendingTokens = 0;
+        w.beatsIssued = 0;
+        w.outstanding = 0;
+        w.blockEnd = 0;
+        w.order = nextOrder_++;
+        w.active = true;
+        ++activeCount_;
+    }
+}
+
+void
+Sm::retireFinished(std::uint64_t now)
+{
+    for (auto &w : warps_) {
+        if (w.active && w.pc >= w.trace->ops.size() &&
+            w.outstanding == 0 && w.blockEnd <= now) {
+            hsu_assert(w.pendingTokens == 0,
+                       "warp retired with pending tokens");
+            w.active = false;
+            w.trace = nullptr;
+            --activeCount_;
+            ++statWarpsRetired_;
+        }
+    }
+}
+
+Sm::TryResult
+Sm::tryIssue(unsigned slot, SubCore &sc, std::uint64_t now,
+             bool &offloadable_attr)
+{
+    WarpCtx &w = warps_[slot];
+    const TraceOp &op = w.trace->ops[w.pc];
+    offloadable_attr = op.offloadable;
+
+    const std::uint32_t prod_mask =
+        op.produces != kNoToken ? (1u << op.produces) : 0u;
+    if ((op.consumesMask | prod_mask) & w.pendingTokens)
+        return TryResult::Blocked;
+
+    const unsigned sub_core_id =
+        static_cast<unsigned>(&sc - subCores_.data());
+
+    switch (op.type) {
+      case OpType::Alu:
+      case OpType::Shared:
+        // A block of `count` back-to-back SIMD instructions occupies
+        // the sub-core's issue port for `count` cycles (GTO would issue
+        // them greedily back-to-back anyway).
+        sc.busyUntil = now + op.count;
+        sc.busyOffloadable = op.offloadable;
+        w.blockEnd = now + op.count;
+        statInstrsIssued_ += static_cast<double>(op.count);
+        ++w.pc;
+        return TryResult::Issued;
+
+      case OpType::Load: {
+        const auto lines =
+            coalesceLines(*w.trace, op, l1_.params().lineBytes);
+        WarpCtx *wp = &w;
+        MemCompletion done = [wp, prod_mask]() {
+            wp->pendingTokens &= ~prod_mask;
+            --wp->outstanding;
+        };
+        if (!lsu_->issue(lines, false, std::move(done)))
+            return TryResult::Blocked;
+        w.pendingTokens |= prod_mask;
+        ++w.outstanding;
+        ++statInstrsIssued_;
+        ++w.pc;
+        return TryResult::Issued;
+      }
+
+      case OpType::Store: {
+        const auto lines =
+            coalesceLines(*w.trace, op, l1_.params().lineBytes);
+        WarpCtx *wp = &w;
+        if (!lsu_->issue(lines, true, [wp]() { --wp->outstanding; }))
+            return TryResult::Blocked;
+        ++w.outstanding;
+        ++statInstrsIssued_;
+        ++w.pc;
+        return TryResult::Issued;
+      }
+
+      case OpType::HsuOp: {
+        hsu_assert(rt_ != nullptr,
+                   "HSU op in trace but RT unit disabled");
+        WarpCtx *wp = &w;
+        MemCompletion done = [wp, prod_mask]() {
+            wp->pendingTokens &= ~prod_mask;
+            --wp->outstanding;
+        };
+        if (!rt_->tryDispatch(sub_core_id, slot, *w.trace, op,
+                              std::move(done), now)) {
+            return TryResult::Blocked;
+        }
+        // The warp streams the sequence's `count` instructions from
+        // its issue port back-to-back (GTO keeps it greedy, §IV-F).
+        sc.busyUntil = now + op.count;
+        sc.busyOffloadable = false;
+        w.blockEnd = now + op.count;
+        w.pendingTokens |= prod_mask;
+        ++w.outstanding;
+        statInstrsIssued_ += static_cast<double>(op.count);
+        ++w.pc;
+        return TryResult::Issued;
+      }
+    }
+    hsu_panic("unreachable op type");
+}
+
+void
+Sm::issueSubCore(SubCore &sc, std::uint64_t now)
+{
+    ++statSlotCycles_;
+
+    if (sc.busyUntil > now) {
+        // Mid-block: the issue port is streaming a compressed
+        // multi-instruction block.
+        ++statBusyCycles_;
+        if (sc.busyOffloadable)
+            ++statOffloadableCycles_;
+        return;
+    }
+
+    // Build the candidate order in fixed scratch storage (this runs
+    // every sub-core cycle — no heap traffic allowed): greedy warp
+    // first (GTO), then the rest oldest-first.
+    unsigned order[64];
+    unsigned count = 0;
+    if (sc.greedy >= 0 &&
+        warps_[static_cast<unsigned>(sc.greedy)].active &&
+        warps_[static_cast<unsigned>(sc.greedy)].pc <
+            warps_[static_cast<unsigned>(sc.greedy)].trace->ops.size()) {
+        order[count++] = static_cast<unsigned>(sc.greedy);
+    }
+    const unsigned greedy_count = count;
+    for (unsigned slot : sc.slots) {
+        const WarpCtx &w = warps_[slot];
+        if (!w.active || static_cast<int>(slot) == sc.greedy)
+            continue;
+        if (w.pc >= w.trace->ops.size())
+            continue; // draining outstanding ops only
+        // Insertion sort by age (<= 16 warps per sub-core).
+        unsigned pos = count;
+        while (pos > greedy_count &&
+               warps_[order[pos - 1]].order > w.order) {
+            order[pos] = order[pos - 1];
+            --pos;
+        }
+        order[pos] = slot;
+        ++count;
+    }
+    if (cfg_.scheduler == SchedulerPolicy::RoundRobin &&
+        count > greedy_count + 1) {
+        // Rotate the non-greedy candidates for a loose round-robin.
+        const unsigned n = count - greedy_count;
+        const unsigned shift = static_cast<unsigned>(now % n);
+        std::rotate(order + greedy_count, order + greedy_count + shift,
+                    order + count);
+    }
+
+    bool first_block_attr = false;
+    bool have_block_attr = false;
+    for (unsigned idx = 0; idx < count; ++idx) {
+        const unsigned slot = order[idx];
+        bool offl = false;
+        const TryResult r = tryIssue(slot, sc, now, offl);
+        if (r == TryResult::Issued) {
+            sc.greedy = static_cast<int>(slot);
+            ++statBusyCycles_;
+            if (offl)
+                ++statOffloadableCycles_;
+            return;
+        }
+        if (!have_block_attr) {
+            have_block_attr = true;
+            first_block_attr = offl;
+        }
+    }
+
+    if (have_block_attr) {
+        ++statStallCycles_;
+        if (first_block_attr)
+            ++statOffloadableCycles_;
+    } else {
+        ++statIdleCycles_;
+    }
+}
+
+void
+Sm::tick(std::uint64_t now)
+{
+    // L1 port arbitration: the LSU and the RT unit's FIFO queue
+    // time-share the single L1D access port, alternating priority.
+    const bool rt_wants = rt_ && rt_->wantsAccess();
+    const bool lsu_wants = lsu_->wantsAccess();
+    const bool rt_turn = (now & 1) == 0;
+    const bool grant_rt = rt_wants && (rt_turn || !lsu_wants);
+    const bool grant_lsu = lsu_wants && !grant_rt;
+
+    if (rt_)
+        rt_->tick(grant_rt, now);
+    lsu_->tick(grant_lsu, now);
+
+    retireFinished(now);
+    activatePending();
+
+    for (auto &sc : subCores_)
+        issueSubCore(sc, now);
+}
+
+bool
+Sm::done() const
+{
+    if (!pending_.empty() || activeCount_ != 0)
+        return false;
+    if (!lsu_->drained())
+        return false;
+    if (rt_ && !rt_->drained())
+        return false;
+    return true;
+}
+
+} // namespace hsu

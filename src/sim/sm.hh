@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Streaming-multiprocessor timing model.
+ *
+ * Each SM has four sub-cores issuing one instruction per cycle under a
+ * greedy-then-oldest (GTO) warp scheduler, a shared LSU, and (when
+ * enabled) one RT/HSU unit shared by the sub-cores. The LSU and the RT
+ * unit's FIFO memory queue time-share the single L1D port. Warp-level
+ * dependencies run through a 32-bit token scoreboard per warp.
+ */
+
+#ifndef HSU_SIM_SM_HH
+#define HSU_SIM_SM_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/cache.hh"
+#include "rtunit/rtunit.hh"
+#include "sim/config.hh"
+#include "sim/lsu.hh"
+#include "sim/trace.hh"
+
+namespace hsu
+{
+
+/** One SM: sub-cores, warp slots, LSU, and optionally an RT/HSU unit. */
+class Sm
+{
+  public:
+    Sm(const GpuConfig &cfg, unsigned sm_id, Cache &l1, StatGroup &stats);
+
+    /** Queue a warp for execution on this SM. */
+    void addWarp(const WarpTrace *trace);
+
+    /** Advance one cycle. */
+    void tick(std::uint64_t now);
+
+    /** True when every queued warp has retired and units drained. */
+    bool done() const;
+
+    /** Access to the RT unit (may be null in the baseline config). */
+    RtUnit *rtUnit() { return rt_.get(); }
+
+  private:
+    enum class TryResult : std::uint8_t
+    {
+        Issued,
+        Blocked,
+    };
+
+    struct WarpCtx
+    {
+        const WarpTrace *trace = nullptr;
+        std::size_t pc = 0;
+        std::uint32_t pendingTokens = 0;
+        unsigned beatsIssued = 0;
+        unsigned outstanding = 0;
+        std::uint64_t order = 0;
+        std::uint64_t blockEnd = 0; //!< last Alu/Shared block finishes
+        bool active = false;
+    };
+
+    struct SubCore
+    {
+        std::vector<unsigned> slots; //!< warp slots owned by this sub-core
+        int greedy = -1;             //!< slot issued most recently
+        std::uint64_t busyUntil = 0; //!< multi-instruction block occupancy
+        bool busyOffloadable = false;
+    };
+
+    TryResult tryIssue(unsigned slot, SubCore &sc, std::uint64_t now,
+                       bool &offloadable_attr);
+    void retireFinished(std::uint64_t now);
+    void activatePending();
+    void issueSubCore(SubCore &sc, std::uint64_t now);
+
+    const GpuConfig &cfg_;
+    unsigned smId_;
+    Cache &l1_;
+    std::unique_ptr<Lsu> lsu_;
+    std::unique_ptr<RtUnit> rt_;
+
+    std::vector<WarpCtx> warps_;
+    std::vector<SubCore> subCores_;
+    std::deque<const WarpTrace *> pending_;
+    std::uint64_t nextOrder_ = 0;
+    std::size_t activeCount_ = 0;
+
+    Stat &statSlotCycles_;
+    Stat &statBusyCycles_;
+    Stat &statOffloadableCycles_;
+    Stat &statStallCycles_;
+    Stat &statIdleCycles_;
+    Stat &statInstrsIssued_;
+    Stat &statWarpsRetired_;
+};
+
+} // namespace hsu
+
+#endif // HSU_SIM_SM_HH

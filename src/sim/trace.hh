@@ -1,0 +1,277 @@
+/**
+ * @file
+ * The abstract warp-level trace ISA consumed by the timing model.
+ *
+ * The paper's methodology replays SASS traces through Accel-Sim, with a
+ * post-processor replacing instruction sequences by HSU CISC
+ * instructions. We generate the equivalent traces directly: every search
+ * kernel executes functionally and emits, per 32-thread warp, a sequence
+ * of abstract operations — ALU/SFU blocks, shared-memory blocks, global
+ * loads/stores with per-lane addresses, and HSU instructions. Dependencies
+ * are expressed through a 32-entry token scoreboard per warp so that
+ * independent loads overlap (memory-level parallelism).
+ */
+
+#ifndef HSU_SIM_TRACE_HH
+#define HSU_SIM_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "hsu/isa.hh"
+
+namespace hsu
+{
+
+/** Number of threads per warp. */
+constexpr unsigned kWarpSize = 32;
+
+/** A full active mask. */
+constexpr std::uint32_t kFullMask = 0xffffffffu;
+
+/** Classes of trace operations. */
+enum class OpType : std::uint8_t
+{
+    Alu,    //!< `count` back-to-back SIMD ALU instructions
+    Shared, //!< `count` shared-memory instructions (queue/stack upkeep)
+    Load,   //!< one global load instruction (per-lane addresses)
+    Store,  //!< one global store instruction
+    HsuOp,  //!< one (multi-beat) HSU CISC instruction
+};
+
+/**
+ * Per-lane addressing for memory operations. Either a regular
+ * (base + lane * stride) pattern, or explicit per-lane addresses held in
+ * the owning trace's address pool.
+ */
+struct AddrGen
+{
+    std::uint64_t base = 0;
+    std::int32_t stride = 0;
+    std::int32_t poolIndex = -1; //!< >= 0: kWarpSize entries in the pool
+
+    /** Address for a lane (pattern form only). */
+    std::uint64_t laneAddr(unsigned lane) const
+    {
+        return base + static_cast<std::int64_t>(stride) * lane;
+    }
+};
+
+/** One warp-level trace operation. */
+struct TraceOp
+{
+    OpType type = OpType::Alu;
+    /** Lanes participating in this op. */
+    std::uint32_t activeMask = kFullMask;
+    /** Alu/Shared: instruction count. HsuOp: beat count. */
+    std::uint16_t count = 1;
+    /** Bytes touched per lane (Load/Store/HsuOp operand fetch). */
+    std::uint16_t bytesPerLane = 4;
+    /** Token this op produces (kNoToken when none). */
+    std::uint8_t produces = 0xff;
+    /** Tokens this op waits for before issuing (bitmask). */
+    std::uint32_t consumesMask = 0;
+    /** Baseline op that the HSU version would replace (Fig 7 metric). */
+    bool offloadable = false;
+    /** HsuOp only: the opcode (mode is implied by opcode + node type). */
+    HsuOpcode hsuOp = HsuOpcode::RayIntersect;
+    /** HsuOp resolved datapath mode (for stats / power accounting). */
+    HsuMode hsuMode = HsuMode::RayBox;
+    /** Memory addressing (Load/Store/HsuOp node pointers). */
+    AddrGen addr;
+};
+
+/** Sentinel for "produces no token". */
+constexpr std::uint8_t kNoToken = 0xff;
+
+/** The trace of one warp: its ops plus an explicit-address pool. */
+struct WarpTrace
+{
+    std::vector<TraceOp> ops;
+    std::vector<std::uint64_t> addrPool;
+
+    /** Per-lane address of op @p op for lane @p lane. */
+    std::uint64_t
+    laneAddr(const TraceOp &op, unsigned lane) const
+    {
+        if (op.addr.poolIndex >= 0) {
+            return addrPool[static_cast<std::size_t>(op.addr.poolIndex) +
+                            lane];
+        }
+        return op.addr.laneAddr(lane);
+    }
+};
+
+/** A kernel launch: one trace per warp. */
+struct KernelTrace
+{
+    std::vector<WarpTrace> warps;
+
+    /** Total dynamic op count (diagnostics). */
+    std::size_t
+    totalOps() const
+    {
+        std::size_t n = 0;
+        for (const auto &w : warps)
+            n += w.ops.size();
+        return n;
+    }
+};
+
+/**
+ * Convenience builder used by the kernel emitters. Tracks the warp being
+ * built and rotates load tokens for MLP.
+ */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(WarpTrace &trace) : trace_(trace) {}
+
+    /** Append a block of @p count ALU instructions. */
+    void
+    alu(unsigned count, std::uint32_t mask = kFullMask,
+        std::uint32_t consumes = 0, bool offloadable = false)
+    {
+        if (count == 0)
+            return;
+        TraceOp op;
+        op.type = OpType::Alu;
+        op.activeMask = mask;
+        op.count = clampCount(count);
+        op.consumesMask = consumes;
+        op.offloadable = offloadable;
+        trace_.ops.push_back(op);
+    }
+
+    /** Append a block of @p count shared-memory instructions. */
+    void
+    shared(unsigned count, std::uint32_t mask = kFullMask,
+           std::uint32_t consumes = 0)
+    {
+        if (count == 0)
+            return;
+        TraceOp op;
+        op.type = OpType::Shared;
+        op.activeMask = mask;
+        op.count = clampCount(count);
+        op.consumesMask = consumes;
+        trace_.ops.push_back(op);
+    }
+
+    /**
+     * Append one global load with a (base + lane*stride) pattern.
+     * @return the token the load produces.
+     */
+    std::uint8_t
+    loadPattern(std::uint64_t base, std::int32_t stride,
+                unsigned bytes_per_lane, std::uint32_t mask = kFullMask,
+                bool offloadable = false)
+    {
+        TraceOp op;
+        op.type = OpType::Load;
+        op.activeMask = mask;
+        op.bytesPerLane = static_cast<std::uint16_t>(bytes_per_lane);
+        op.addr.base = base;
+        op.addr.stride = stride;
+        op.produces = nextToken();
+        op.offloadable = offloadable;
+        trace_.ops.push_back(op);
+        return op.produces;
+    }
+
+    /**
+     * Append one global load with explicit per-lane addresses
+     * (inactive lanes may carry any value).
+     * @return the token the load produces.
+     */
+    std::uint8_t
+    loadGather(const std::uint64_t *lane_addrs, unsigned bytes_per_lane,
+               std::uint32_t mask, bool offloadable = false)
+    {
+        TraceOp op;
+        op.type = OpType::Load;
+        op.activeMask = mask;
+        op.bytesPerLane = static_cast<std::uint16_t>(bytes_per_lane);
+        op.addr.poolIndex = static_cast<std::int32_t>(
+            trace_.addrPool.size());
+        trace_.addrPool.insert(trace_.addrPool.end(), lane_addrs,
+                               lane_addrs + kWarpSize);
+        op.produces = nextToken();
+        op.offloadable = offloadable;
+        trace_.ops.push_back(op);
+        return op.produces;
+    }
+
+    /** Append one global store (fire-and-forget). */
+    void
+    storePattern(std::uint64_t base, std::int32_t stride,
+                 unsigned bytes_per_lane, std::uint32_t mask = kFullMask)
+    {
+        TraceOp op;
+        op.type = OpType::Store;
+        op.activeMask = mask;
+        op.bytesPerLane = static_cast<std::uint16_t>(bytes_per_lane);
+        op.addr.base = base;
+        op.addr.stride = stride;
+        trace_.ops.push_back(op);
+    }
+
+    /**
+     * Append one HSU instruction with per-lane node pointers.
+     * @param beats multi-beat count (each beat fetches bytes_per_lane)
+     * @return the token the instruction produces.
+     */
+    std::uint8_t
+    hsuOp(HsuOpcode opcode, HsuMode mode, const std::uint64_t *lane_addrs,
+          unsigned bytes_per_lane, unsigned beats, std::uint32_t mask,
+          std::uint32_t consumes = 0)
+    {
+        hsu_assert(beats >= 1, "HSU op needs at least one beat");
+        TraceOp op;
+        op.type = OpType::HsuOp;
+        op.hsuOp = opcode;
+        op.hsuMode = mode;
+        op.activeMask = mask;
+        op.bytesPerLane = static_cast<std::uint16_t>(bytes_per_lane);
+        op.count = clampCount(beats);
+        op.consumesMask = consumes;
+        op.addr.poolIndex = static_cast<std::int32_t>(
+            trace_.addrPool.size());
+        trace_.addrPool.insert(trace_.addrPool.end(), lane_addrs,
+                               lane_addrs + kWarpSize);
+        op.produces = nextToken();
+        trace_.ops.push_back(op);
+        return op.produces;
+    }
+
+    /** Bitmask helper for "wait on this token". */
+    static std::uint32_t
+    tokenMask(std::uint8_t token)
+    {
+        return token == kNoToken ? 0u : (1u << token);
+    }
+
+  private:
+    std::uint8_t
+    nextToken()
+    {
+        const std::uint8_t t = tokenRotor_;
+        tokenRotor_ = static_cast<std::uint8_t>((tokenRotor_ + 1) % 16);
+        return t;
+    }
+
+    static std::uint16_t
+    clampCount(unsigned count)
+    {
+        hsu_assert(count <= 0xffff, "op count overflow: ", count);
+        return static_cast<std::uint16_t>(count);
+    }
+
+    WarpTrace &trace_;
+    std::uint8_t tokenRotor_ = 0;
+};
+
+} // namespace hsu
+
+#endif // HSU_SIM_TRACE_HH

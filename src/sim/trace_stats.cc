@@ -1,0 +1,96 @@
+#include "sim/trace_stats.hh"
+
+#include <bit>
+
+#include "common/table.hh"
+
+namespace hsu
+{
+
+TraceStats
+analyzeTrace(const KernelTrace &trace)
+{
+    TraceStats s;
+    s.warps = trace.warps.size();
+    std::size_t mem_ops = 0;
+    std::size_t lane_sum = 0;
+
+    for (const auto &warp : trace.warps) {
+        s.ops += warp.ops.size();
+        for (const auto &op : warp.ops) {
+            const unsigned lanes = std::popcount(op.activeMask);
+            switch (op.type) {
+              case OpType::Alu:
+                s.aluInstructions += op.count;
+                s.instructions += op.count;
+                if (op.offloadable)
+                    s.offloadableInstructions += op.count;
+                break;
+              case OpType::Shared:
+                s.sharedInstructions += op.count;
+                s.instructions += op.count;
+                break;
+              case OpType::Load:
+              case OpType::Store: {
+                const bool load = op.type == OpType::Load;
+                (load ? s.loadInstructions : s.storeInstructions) += 1;
+                s.instructions += 1;
+                if (op.offloadable)
+                    s.offloadableInstructions += 1;
+                ++mem_ops;
+                lane_sum += lanes;
+                s.globalBytes +=
+                    static_cast<std::size_t>(lanes) * op.bytesPerLane;
+                break;
+              }
+              case OpType::HsuOp: {
+                s.hsuInstructions += op.count;
+                s.instructions += op.count;
+                s.hsuByMode[static_cast<unsigned>(op.hsuMode)] +=
+                    op.count;
+                ++mem_ops;
+                lane_sum += lanes;
+                s.globalBytes += static_cast<std::size_t>(lanes) *
+                                 op.bytesPerLane * op.count;
+                break;
+              }
+            }
+        }
+    }
+    s.avgActiveLanes =
+        mem_ops ? static_cast<double>(lane_sum) /
+                      static_cast<double>(mem_ops)
+                : 0.0;
+    return s;
+}
+
+void
+printTraceStats(std::ostream &os, const TraceStats &s,
+                const std::string &title)
+{
+    Table t(title, {"Metric", "Value"});
+    t.addRow({"warps", std::to_string(s.warps)});
+    t.addRow({"trace ops", std::to_string(s.ops)});
+    t.addRow({"dynamic instructions", std::to_string(s.instructions)});
+    t.addRow({"  alu", std::to_string(s.aluInstructions)});
+    t.addRow({"  shared", std::to_string(s.sharedInstructions)});
+    t.addRow({"  loads", std::to_string(s.loadInstructions)});
+    t.addRow({"  stores", std::to_string(s.storeInstructions)});
+    t.addRow({"  hsu (beats)", std::to_string(s.hsuInstructions)});
+    static const char *mode_names[5] = {"ray-box", "ray-tri", "euclid",
+                                        "angular", "key-compare"};
+    for (unsigned m = 0; m < 5; ++m) {
+        if (s.hsuByMode[m]) {
+            t.addRow({std::string("    ") + mode_names[m],
+                      std::to_string(s.hsuByMode[m])});
+        }
+    }
+    t.addRow({"offloadable fraction",
+              Table::pct(s.offloadableFraction())});
+    t.addRow({"avg active lanes (mem/hsu)",
+              Table::num(s.avgActiveLanes, 2)});
+    t.addRow({"global bytes touched", std::to_string(s.globalBytes)});
+    t.print(os);
+}
+
+} // namespace hsu

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Trace inspection: instruction-mix and memory-footprint statistics of
+ * a kernel trace — the Accel-Sim-style "what does this kernel execute"
+ * summary used by tools, tests, and the breakdown bench.
+ */
+
+#ifndef HSU_SIM_TRACE_STATS_HH
+#define HSU_SIM_TRACE_STATS_HH
+
+#include <array>
+#include <ostream>
+
+#include "sim/trace.hh"
+
+namespace hsu
+{
+
+/** Aggregated statistics over a kernel trace. */
+struct TraceStats
+{
+    std::size_t warps = 0;
+    std::size_t ops = 0;             //!< trace ops (compressed blocks)
+    std::size_t instructions = 0;    //!< dynamic SIMD instructions
+    std::size_t aluInstructions = 0;
+    std::size_t sharedInstructions = 0;
+    std::size_t loadInstructions = 0;
+    std::size_t storeInstructions = 0;
+    std::size_t hsuInstructions = 0; //!< beats
+    /** HSU instruction counts per mode (indexed by HsuMode). */
+    std::array<std::size_t, 5> hsuByMode{};
+    std::size_t offloadableInstructions = 0;
+    double avgActiveLanes = 0.0;     //!< over memory + HSU ops
+    std::size_t globalBytes = 0;     //!< load/store/HSU operand bytes
+
+    /** Fraction of dynamic instructions the HSU could subsume. */
+    double
+    offloadableFraction() const
+    {
+        return instructions
+            ? static_cast<double>(offloadableInstructions) /
+                  static_cast<double>(instructions)
+            : 0.0;
+    }
+};
+
+/** Compute statistics for a whole kernel trace. */
+TraceStats analyzeTrace(const KernelTrace &trace);
+
+/** Pretty-print a TraceStats block. */
+void printTraceStats(std::ostream &os, const TraceStats &stats,
+                     const std::string &title);
+
+} // namespace hsu
+
+#endif // HSU_SIM_TRACE_STATS_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * B+tree key-value index (Rodinia-style) for the KEY_COMPARE workload.
+ *
+ * Internal nodes hold up to `order - 1` separator keys in non-decreasing
+ * order (the paper's evaluated tree has a branch factor of 256, i.e. up
+ * to 255 separators); leaves hold (key, value) pairs. Built by bulk
+ * loading sorted pairs. Lookup descends by counting separators <= key —
+ * exactly the popcount of the KEY_COMPARE result bit vector.
+ */
+
+#ifndef HSU_STRUCTURES_BTREE_HH
+#define HSU_STRUCTURES_BTREE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hsu
+{
+
+/** One B+tree node (internal or leaf). */
+struct BTreeNode
+{
+    bool leaf = false;
+    /** Internal: separator keys. Leaf: the stored keys. */
+    std::vector<std::uint32_t> keys;
+    /** Internal: child node indices (keys.size() + 1 entries). */
+    std::vector<std::int32_t> children;
+    /** Leaf: values parallel to keys. */
+    std::vector<std::uint32_t> values;
+};
+
+/** Bulk-loaded B+tree over 32-bit keys and values. */
+class BTree
+{
+  public:
+    /**
+     * Build from (key, value) pairs (will be sorted by key; duplicate
+     * keys keep their first value).
+     *
+     * @param order      max children per internal node (paper: 256)
+     * @param leaf_fill  target fraction of leaf capacity used
+     */
+    static BTree build(std::vector<std::pair<std::uint32_t,
+                                             std::uint32_t>> pairs,
+                       unsigned order = 256, double leaf_fill = 0.7);
+
+    /** Value stored under @p key, if present. */
+    std::optional<std::uint32_t> lookup(std::uint32_t key) const;
+
+    /**
+     * Insert (or overwrite) a key-value pair, splitting full nodes on
+     * the way down (single-pass preemptive split, CLRS-style).
+     */
+    void insert(std::uint32_t key, std::uint32_t value);
+
+    /** Remove @p key. @return true when it was present. Simple
+     *  leaf-deletion scheme: separators are not rebalanced (lookups
+     *  remain correct; fill factors may degrade under heavy churn). */
+    bool erase(std::uint32_t key);
+
+    /**
+     * All (key, value) pairs with lo <= key <= hi in ascending key
+     * order (Rodinia's findRangeK).
+     */
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>
+    range(std::uint32_t lo, std::uint32_t hi) const;
+
+    /** Number of stored keys. */
+    std::size_t size() const;
+
+    const std::vector<BTreeNode> &nodes() const { return nodes_; }
+    std::int32_t root() const { return root_; }
+    unsigned order() const { return order_; }
+
+    /** Number of levels from root to leaf (1 for a lone leaf). */
+    unsigned height() const;
+
+    /** Invariants: sorted separators, child counts, uniform leaf depth,
+     *  and full key coverage. */
+    bool validate() const;
+
+    /**
+     * The child slot a key selects inside an internal node: the number
+     * of separators <= key. This is the popcount of the KEY_COMPARE
+     * bit-vector result (Table I semantics).
+     */
+    static unsigned childSlot(const BTreeNode &node, std::uint32_t key);
+
+    /** Reassemble from serialized parts (used by loadBTree). */
+    static BTree fromParts(std::vector<BTreeNode> nodes,
+                           std::int32_t root, unsigned order);
+
+  private:
+    std::vector<BTreeNode> nodes_;
+    std::int32_t root_ = -1;
+    unsigned order_ = 256;
+};
+
+} // namespace hsu
+
+#endif // HSU_STRUCTURES_BTREE_HH

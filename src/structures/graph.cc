@@ -1,0 +1,353 @@
+#include "structures/graph.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+float
+metricDist(Metric metric, const float *a, const float *b, unsigned dim)
+{
+    if (metric == Metric::Euclidean)
+        return pointDist2(a, b, dim);
+    float dot = 0.0f, na = 0.0f, nb = 0.0f;
+    for (unsigned i = 0; i < dim; ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+    }
+    const float denom = std::sqrt(na) * std::sqrt(nb);
+    if (denom == 0.0f)
+        return 1.0f;
+    return 1.0f - dot / denom;
+}
+
+HnswGraph
+HnswGraph::build(const PointSet &points, Metric metric,
+                 const HnswParams &params)
+{
+    HnswGraph g;
+    g.points_ = &points;
+    g.metric_ = metric;
+    g.params_ = params;
+
+    const std::size_t n = points.size();
+    if (n == 0) {
+        g.layers_.emplace_back();
+        return g;
+    }
+
+    // Geometric level assignment (HNSW): P(level >= l) = (1/degree)^l.
+    Rng rng(params.seed);
+    const double ml = 1.0 / std::log(static_cast<double>(
+        std::max(2u, params.degree)));
+    std::vector<unsigned> level(n);
+    unsigned max_level = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double u = std::max(rng.nextDouble(), 1e-12);
+        level[i] = static_cast<unsigned>(-std::log(u) * ml);
+        level[i] = std::min(level[i], 6u); // cap pathological draws
+        max_level = std::max(max_level, level[i]);
+    }
+    // Make node 0 the top entry point.
+    level[0] = max_level;
+
+    g.layers_.resize(max_level + 1);
+    for (unsigned l = 0; l <= max_level; ++l) {
+        g.layers_[l].adjacency.assign(n * g.layerDegree(l), kNoNeighbor);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (level[i] >= l)
+                g.layers_[l].members.push_back(
+                    static_cast<std::uint32_t>(i));
+        }
+    }
+    g.entry_ = 0;
+
+    const unsigned dim = points.dim();
+    auto dist = [&](std::uint32_t a, std::uint32_t b) {
+        return metricDist(metric, points[a], points[b], dim);
+    };
+
+    auto row = [&g](unsigned l, std::uint32_t node) {
+        return g.layers_[l].adjacency.data() +
+               static_cast<std::size_t>(node) * g.layerDegree(l);
+    };
+
+    // Add a bidirectional edge. On overflow the row is re-selected
+    // with the HNSW diversity heuristic over {existing + new}, which
+    // preserves the long-range edges plain replace-farthest would
+    // erode as the graph densifies.
+    auto connect = [&](unsigned l, std::uint32_t from, std::uint32_t to) {
+        std::uint32_t *r = row(l, from);
+        const unsigned deg = g.layerDegree(l);
+        for (unsigned j = 0; j < deg; ++j) {
+            if (r[j] == to)
+                return;
+            if (r[j] == kNoNeighbor) {
+                r[j] = to;
+                return;
+            }
+        }
+        std::vector<std::pair<float, std::uint32_t>> cands;
+        cands.reserve(deg + 1);
+        cands.emplace_back(dist(from, to), to);
+        for (unsigned j = 0; j < deg; ++j)
+            cands.emplace_back(dist(from, r[j]), r[j]);
+        std::sort(cands.begin(), cands.end());
+        std::vector<std::uint32_t> selected;
+        selected.reserve(deg);
+        for (const auto &[d, cand] : cands) {
+            if (selected.size() >= deg)
+                break;
+            bool diverse = true;
+            for (const auto s : selected) {
+                if (dist(cand, s) < d) {
+                    diverse = false;
+                    break;
+                }
+            }
+            if (diverse)
+                selected.push_back(cand);
+        }
+        for (const auto &[d, cand] : cands) {
+            if (selected.size() >= deg)
+                break;
+            if (std::find(selected.begin(), selected.end(), cand) ==
+                selected.end()) {
+                selected.push_back(cand);
+            }
+        }
+        for (unsigned j = 0; j < deg; ++j)
+            r[j] = j < selected.size() ? selected[j] : kNoNeighbor;
+    };
+
+    // Incremental insertion.
+    for (std::size_t i = 1; i < n; ++i) {
+        const auto node = static_cast<std::uint32_t>(i);
+        std::uint32_t cur = g.entry_;
+        // Greedy descent through layers above the node's level.
+        for (unsigned l = max_level; l > level[i]; --l)
+            cur = g.greedyStep(l, cur, points[node]);
+        // Connect at each layer from level[i] down to 0, picking
+        // neighbors with the HNSW diversity heuristic (keep a
+        // candidate only if it is closer to the new node than to any
+        // already-selected neighbor) — without it, clustered data
+        // yields short-range-only graphs with poor recall.
+        for (int l = static_cast<int>(level[i]); l >= 0; --l) {
+            const auto ul = static_cast<unsigned>(l);
+            auto cands = g.searchLayer(ul, cur, points[node],
+                                       params.efConstruction);
+            const unsigned target = g.layerDegree(ul);
+            std::vector<std::uint32_t> selected;
+            selected.reserve(target);
+            for (const auto &c : cands) {
+                if (c.index == node)
+                    continue;
+                if (selected.size() >= target)
+                    break;
+                bool diverse = true;
+                for (const auto s : selected) {
+                    if (dist(c.index, s) < c.dist2) {
+                        diverse = false;
+                        break;
+                    }
+                }
+                if (diverse)
+                    selected.push_back(c.index);
+            }
+            // Backfill with skipped candidates if diversity pruned too
+            // aggressively.
+            for (const auto &c : cands) {
+                if (selected.size() >= target)
+                    break;
+                if (c.index == node)
+                    continue;
+                if (std::find(selected.begin(), selected.end(),
+                              c.index) == selected.end()) {
+                    selected.push_back(c.index);
+                }
+            }
+            for (const auto s : selected) {
+                connect(ul, node, s);
+                connect(ul, s, node);
+            }
+            if (!cands.empty())
+                cur = cands.front().index == node && cands.size() > 1
+                    ? cands[1].index
+                    : cands.front().index;
+        }
+    }
+    return g;
+}
+
+const std::uint32_t *
+HnswGraph::neighbors(unsigned l, std::uint32_t node) const
+{
+    return layers_[l].adjacency.data() +
+           static_cast<std::size_t>(node) * layerDegree(l);
+}
+
+std::uint32_t
+HnswGraph::greedyStep(unsigned layer, std::uint32_t start,
+                      const float *query) const
+{
+    const unsigned dim = points_->dim();
+    std::uint32_t cur = start;
+    float cur_d = metricDist(metric_, query, (*points_)[cur], dim);
+    for (;;) {
+        bool improved = false;
+        const std::uint32_t *nbrs = neighbors(layer, cur);
+        for (unsigned j = 0; j < layerDegree(layer); ++j) {
+            if (nbrs[j] == kNoNeighbor)
+                break;
+            const float d =
+                metricDist(metric_, query, (*points_)[nbrs[j]], dim);
+            if (d < cur_d) {
+                cur_d = d;
+                cur = nbrs[j];
+                improved = true;
+            }
+        }
+        if (!improved)
+            return cur;
+    }
+}
+
+std::vector<Neighbor>
+HnswGraph::searchLayer(unsigned layer, std::uint32_t entry,
+                       const float *query, unsigned ef) const
+{
+    const unsigned dim = points_->dim();
+    const float entry_d =
+        metricDist(metric_, query, (*points_)[entry], dim);
+
+    // Min-heap of candidates to expand; max-heap of the ef best found.
+    using Cand = std::pair<float, std::uint32_t>;
+    std::priority_queue<Cand, std::vector<Cand>, std::greater<>> open;
+    std::priority_queue<Cand> best;
+    std::unordered_set<std::uint32_t> visited;
+
+    open.push({entry_d, entry});
+    best.push({entry_d, entry});
+    visited.insert(entry);
+
+    while (!open.empty()) {
+        const auto [d, node] = open.top();
+        open.pop();
+        if (d > best.top().first && best.size() >= ef)
+            break;
+        const std::uint32_t *nbrs = neighbors(layer, node);
+        for (unsigned j = 0; j < layerDegree(layer); ++j) {
+            const std::uint32_t nb = nbrs[j];
+            if (nb == kNoNeighbor)
+                break;
+            if (!visited.insert(nb).second)
+                continue;
+            const float nd =
+                metricDist(metric_, query, (*points_)[nb], dim);
+            if (best.size() < ef || nd < best.top().first) {
+                open.push({nd, nb});
+                best.push({nd, nb});
+                if (best.size() > ef)
+                    best.pop();
+            }
+        }
+    }
+
+    std::vector<Neighbor> out;
+    out.reserve(best.size());
+    while (!best.empty()) {
+        out.push_back({best.top().second, best.top().first});
+        best.pop();
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Neighbor>
+HnswGraph::knn(const float *query, unsigned k,
+               const HnswSearchParams &sp) const
+{
+    std::vector<Neighbor> out;
+    if (!points_ || points_->size() == 0)
+        return out;
+
+    std::uint32_t cur = entry_;
+    for (unsigned l = numLayers() - 1; l > 0; --l)
+        cur = greedyStep(l, cur, query);
+
+    auto found = searchLayer(0, cur, query, std::max(k, sp.ef));
+    if (found.size() > k)
+        found.resize(k);
+    return found;
+}
+
+bool
+HnswGraph::validate() const
+{
+    if (!points_)
+        return false;
+    const std::size_t n = points_->size();
+    for (unsigned l = 0; l < numLayers(); ++l) {
+        std::vector<bool> member(n, false);
+        for (const auto m : layers_[l].members) {
+            if (m >= n)
+                return false;
+            member[m] = true;
+        }
+        // Members of layer l must be members of every lower layer.
+        if (l > 0) {
+            std::vector<bool> lower(n, false);
+            for (const auto m : layers_[l - 1].members)
+                lower[m] = true;
+            for (const auto m : layers_[l].members) {
+                if (!lower[m])
+                    return false;
+            }
+        }
+        for (std::size_t node = 0; node < n; ++node) {
+            const std::uint32_t *nbrs =
+                neighbors(l, static_cast<std::uint32_t>(node));
+            for (unsigned j = 0; j < layerDegree(l); ++j) {
+                const std::uint32_t nb = nbrs[j];
+                if (nb == kNoNeighbor)
+                    continue;
+                if (nb >= n || nb == node)
+                    return false;
+                if (!member[nb])
+                    return false;
+                // Rows of non-members must be empty.
+                if (!member[node])
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace hsu
+
+namespace hsu
+{
+
+HnswGraph
+HnswGraph::fromParts(const PointSet &points, Metric metric,
+                     const HnswParams &params,
+                     std::vector<Layer> layers, std::uint32_t entry)
+{
+    HnswGraph g;
+    g.points_ = &points;
+    g.metric_ = metric;
+    g.params_ = params;
+    g.layers_ = std::move(layers);
+    g.entry_ = entry;
+    return g;
+}
+
+} // namespace hsu

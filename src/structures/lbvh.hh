@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Linear BVH construction (Karras 2012) over points or triangles.
+ *
+ * This is the builder the paper's BVH-NN uses: "The points are then
+ * sorted based on their Morton codes and a BVH is constructed using the
+ * algorithm described in [Karras 2012]" with leaf AABBs of width twice
+ * the search radius centered on each point (RTNN-style). The binary
+ * radix tree is built from the sorted Morton codes; a separate pass can
+ * collapse it into a 4-wide BVH for the RT unit's BoxNode4 format.
+ */
+
+#ifndef HSU_STRUCTURES_LBVH_HH
+#define HSU_STRUCTURES_LBVH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/aabb.hh"
+#include "geom/intersect.hh"
+#include "hsu/nodes.hh"
+#include "structures/pointset.hh"
+
+namespace hsu
+{
+
+/** One node of the binary LBVH. */
+struct LbvhNode
+{
+    Aabb bounds;
+    std::int32_t left = -1;   //!< child index; < 0 means none
+    std::int32_t right = -1;
+    std::int32_t primitive = -1; //!< leaf: original primitive index
+    std::int32_t parent = -1;
+
+    bool isLeaf() const { return primitive >= 0; }
+};
+
+/**
+ * A binary bounding volume hierarchy built bottom-up from Morton-sorted
+ * primitives. Node 0 is the root (for size() > 1).
+ */
+class Lbvh
+{
+  public:
+    /**
+     * Build over a 3-D point set; each leaf AABB is centered on its
+     * point with half-width @p leaf_half_extent (RTNN uses the search
+     * radius).
+     */
+    static Lbvh buildFromPoints(const PointSet &points,
+                                float leaf_half_extent);
+
+    /** Build over triangles (leaf AABB = triangle bounds). */
+    static Lbvh buildFromTriangles(const std::vector<Triangle> &tris);
+
+    /** Build over arbitrary leaf boxes (one primitive per box). */
+    static Lbvh buildFromBoxes(const std::vector<Aabb> &boxes);
+
+    /**
+     * Top-down binned surface-area-heuristic build over leaf boxes.
+     * Slower to construct but higher quality than the Morton build —
+     * the improvement Section VI-E anticipates ("a more optimized BVH
+     * that uses surface area heuristic ... would further improve
+     * performance"). Compare with bench/ablation_sah.
+     */
+    static Lbvh buildSah(const std::vector<Aabb> &boxes,
+                         unsigned num_bins = 16);
+
+    /** SAH-style builder over a 3-D point set (leaf half-width as in
+     *  buildFromPoints). */
+    static Lbvh buildSahFromPoints(const PointSet &points,
+                                   float leaf_half_extent,
+                                   unsigned num_bins = 16);
+
+    /**
+     * Tree quality metric: the expected traversal cost under the
+     * surface area heuristic (sum over inner nodes of child-area /
+     * root-area). Lower is better; use it to compare builders.
+     */
+    double sahCost() const;
+
+    /**
+     * Refit all AABBs bottom-up after primitives moved (topology is
+     * kept). @p new_boxes maps primitive index -> new leaf box.
+     */
+    void refit(const std::vector<Aabb> &new_boxes);
+
+    const std::vector<LbvhNode> &nodes() const { return nodes_; }
+    std::size_t size() const { return nodes_.size(); }
+
+    /** Index of the root node. */
+    std::int32_t root() const { return root_; }
+
+    /** Number of leaf nodes (== number of primitives). */
+    std::size_t numLeaves() const { return numLeaves_; }
+
+    /**
+     * Verify structural invariants: every primitive appears in exactly
+     * one leaf, every child's AABB is contained in its parent's, and
+     * parent links are consistent. @return true when all hold.
+     */
+    bool validate() const;
+
+    /**
+     * All primitives whose leaf boxes contain @p p (reference
+     * implementation of the point query the traversal tests check
+     * against).
+     */
+    std::vector<std::uint32_t> pointQuery(const Vec3 &p) const;
+
+    /**
+     * Morton-sorted position of each primitive: position[prim] is the
+     * index of prim's leaf in left-to-right (Morton) order. The device
+     * point array is stored in this order (RTNN sorts points by their
+     * Morton codes before building).
+     */
+    std::vector<std::uint32_t> primitivePositions() const;
+
+    /** Reassemble from serialized parts (used by loadLbvh). The
+     *  caller should validate() afterwards. */
+    static Lbvh fromParts(std::vector<LbvhNode> nodes,
+                          std::int32_t root, std::size_t num_leaves);
+
+  private:
+    static Lbvh buildImpl(const std::vector<Aabb> &leaf_boxes);
+
+    std::vector<LbvhNode> nodes_;
+    std::int32_t root_ = -1;
+    std::size_t numLeaves_ = 0;
+};
+
+/**
+ * A 4-wide BVH in the RT unit's BoxNode4 format, collapsed from a
+ * binary Lbvh (grandchild adoption). Leaves reference primitives via
+ * child refs with the leaf bit set.
+ */
+class Bvh4
+{
+  public:
+    /** Collapse a binary BVH into BVH4 form. */
+    static Bvh4 fromBinary(const Lbvh &bvh);
+
+    const std::vector<BoxNode4> &nodes() const { return nodes_; }
+    std::size_t size() const { return nodes_.size(); }
+
+    /** Root node index (0 when non-empty). */
+    std::uint32_t root() const { return 0; }
+
+    /** AABB of primitive @p i (leaf box carried over from the Lbvh). */
+    const Aabb &primitiveBounds(std::uint32_t i) const
+    { return primBounds_[i]; }
+
+    std::size_t numPrimitives() const { return primBounds_.size(); }
+
+    /** Structural invariants (containment, reachability). */
+    bool validate() const;
+
+  private:
+    std::vector<BoxNode4> nodes_;
+    std::vector<Aabb> primBounds_;
+};
+
+} // namespace hsu
+
+#endif // HSU_STRUCTURES_LBVH_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dense N-dimensional float point storage shared by every search index.
+ */
+
+#ifndef HSU_STRUCTURES_POINTSET_HH
+#define HSU_STRUCTURES_POINTSET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "geom/vec3.hh"
+
+namespace hsu
+{
+
+/** A row-major (point-major) array of n-dimensional float points. */
+class PointSet
+{
+  public:
+    PointSet() = default;
+
+    /** Create an empty set of @p dim-dimensional points. */
+    explicit PointSet(unsigned dim) : dim_(dim)
+    {
+        hsu_assert(dim > 0, "points need at least one dimension");
+    }
+
+    /** Append one point (must have dim() components). */
+    void
+    add(const float *coords)
+    {
+        data_.insert(data_.end(), coords, coords + dim_);
+    }
+
+    /** Append a 3-D point. @pre dim() == 3. */
+    void
+    add(const Vec3 &p)
+    {
+        hsu_assert(dim_ == 3, "Vec3 add on non-3D point set");
+        data_.push_back(p.x);
+        data_.push_back(p.y);
+        data_.push_back(p.z);
+    }
+
+    /** Number of points. */
+    std::size_t size() const { return dim_ ? data_.size() / dim_ : 0; }
+
+    /** Dimensionality. */
+    unsigned dim() const { return dim_; }
+
+    /** Pointer to point @p i's coordinates. */
+    const float *operator[](std::size_t i) const
+    { return data_.data() + i * dim_; }
+
+    /** Mutable pointer to point @p i's coordinates. */
+    float *mutablePoint(std::size_t i) { return data_.data() + i * dim_; }
+
+    /** Point @p i as a Vec3. @pre dim() == 3. */
+    Vec3
+    vec3(std::size_t i) const
+    {
+        hsu_assert(dim_ == 3, "vec3() on non-3D point set");
+        const float *p = (*this)[i];
+        return {p[0], p[1], p[2]};
+    }
+
+    /** Bytes per point (4 * dim). */
+    unsigned strideBytes() const { return dim_ * 4; }
+
+    /** Reserve capacity for @p n points. */
+    void reserve(std::size_t n) { data_.reserve(n * dim_); }
+
+  private:
+    unsigned dim_ = 0;
+    std::vector<float> data_;
+};
+
+/** Exact squared Euclidean distance (reference implementation). */
+inline float
+pointDist2(const float *a, const float *b, unsigned dim)
+{
+    float sum = 0.0f;
+    for (unsigned i = 0; i < dim; ++i) {
+        const float d = a[i] - b[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+} // namespace hsu
+
+#endif // HSU_STRUCTURES_POINTSET_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Binary serialization for the search indexes.
+ *
+ * Index construction (graph builds especially) dominates experiment
+ * setup time, so the library can persist built structures and reload
+ * them instantly. Formats are versioned and checksum the shape of the
+ * backing PointSet where one is required (the point data itself is not
+ * embedded — indexes reference external point arrays, as on a GPU).
+ */
+
+#ifndef HSU_STRUCTURES_SERIALIZE_HH
+#define HSU_STRUCTURES_SERIALIZE_HH
+
+#include <iosfwd>
+#include <optional>
+
+#include "structures/btree.hh"
+#include "structures/graph.hh"
+#include "structures/kdtree.hh"
+#include "structures/lbvh.hh"
+
+namespace hsu
+{
+
+/** Serialize a binary BVH. */
+void saveLbvh(std::ostream &os, const Lbvh &bvh);
+
+/** Load a binary BVH. @return nullopt on a malformed stream. */
+std::optional<Lbvh> loadLbvh(std::istream &is);
+
+/** Serialize a k-d tree (structure only; points live elsewhere). */
+void saveKdTree(std::ostream &os, const KdTree &tree);
+
+/**
+ * Load a k-d tree over @p points, which must have the same size and
+ * dimensionality as the tree was built on.
+ */
+std::optional<KdTree> loadKdTree(std::istream &is,
+                                 const PointSet &points);
+
+/** Serialize a hierarchical graph (adjacency only). */
+void saveGraph(std::ostream &os, const HnswGraph &graph);
+
+/** Load a graph over @p points (shape-checked like loadKdTree). */
+std::optional<HnswGraph> loadGraph(std::istream &is,
+                                   const PointSet &points);
+
+/** Serialize a B+tree (self-contained: keys and values included). */
+void saveBTree(std::ostream &os, const BTree &tree);
+
+/** Load a B+tree. */
+std::optional<BTree> loadBTree(std::istream &is);
+
+} // namespace hsu
+
+#endif // HSU_STRUCTURES_SERIALIZE_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Area/power model and roofline tests: the paper's headline ratios must
+ * hold (HSU area ~ +37%, HSU additions cost a few mW per ray mode,
+ * euclid within a few mW of ray-box, angular below euclid).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/datapath_cost.hh"
+#include "analysis/roofline.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(AreaModel, HsuAddsRoughlyPaperDelta)
+{
+    const double base = totalArea(baselineInventory());
+    const double hsu = totalArea(hsuInventory());
+    const double ratio = hsu / base;
+    // Paper: +37%. Allow a modeling band.
+    EXPECT_GT(ratio, 1.25);
+    EXPECT_LT(ratio, 1.50);
+}
+
+TEST(AreaModel, AddersFollowSectionIVC)
+{
+    // "two additional adders in stage 3, and one in stages 5, 8, 9".
+    const auto base = baselineInventory();
+    const auto hsu = hsuInventory();
+    const auto idx = static_cast<unsigned>(FuClass::FpAdd);
+    EXPECT_EQ(hsu.stages[2].count[idx] - base.stages[2].count[idx], 2.0);
+    EXPECT_EQ(hsu.stages[4].count[idx] - base.stages[4].count[idx], 1.0);
+    EXPECT_EQ(hsu.stages[7].count[idx] - base.stages[7].count[idx], 1.0);
+    EXPECT_EQ(hsu.stages[8].count[idx] - base.stages[8].count[idx], 1.0);
+    EXPECT_EQ(hsu.total(FuClass::FpAdd) - base.total(FuClass::FpAdd),
+              5.0);
+}
+
+TEST(AreaModel, MultipliersAndComparatorsUnchanged)
+{
+    // Key-compare reuses the stage-3 comparator bank; distances reuse
+    // the multipliers (Fig 6).
+    const auto base = baselineInventory();
+    const auto hsu = hsuInventory();
+    EXPECT_EQ(base.total(FuClass::FpMul), hsu.total(FuClass::FpMul));
+    EXPECT_EQ(base.total(FuClass::FpCmp), hsu.total(FuClass::FpCmp));
+}
+
+TEST(AreaModel, WiderDatapathCostsMore)
+{
+    DatapathConfig wide;
+    wide.euclidWidth = 32;
+    EXPECT_GT(totalArea(hsuInventory(wide)),
+              totalArea(hsuInventory(DatapathConfig{})));
+}
+
+TEST(PowerModel, PaperShapesHold)
+{
+    const auto base = baselineInventory();
+    const auto hsu = hsuInventory();
+    const DatapathConfig dp;
+
+    const double base_box = modePower(base, HsuMode::RayBox, dp);
+    const double base_tri = modePower(base, HsuMode::RayTri, dp);
+    const double hsu_box = modePower(hsu, HsuMode::RayBox, dp, &base);
+    const double hsu_tri = modePower(hsu, HsuMode::RayTri, dp, &base);
+    const double euclid = modePower(hsu, HsuMode::Euclid, dp, &base);
+    const double angular = modePower(hsu, HsuMode::Angular, dp, &base);
+    const double keycmp = modePower(hsu, HsuMode::KeyCompare, dp, &base);
+
+    // HSU adds a small tax to the baseline ray modes (paper: 10/8 mW).
+    EXPECT_GT(hsu_box, base_box);
+    EXPECT_LT(hsu_box - base_box, 15.0);
+    EXPECT_GT(hsu_tri, base_tri);
+    EXPECT_LT(hsu_tri - base_tri, 15.0);
+
+    // Euclid lands within ~10 mW of baseline ray-box (paper: +5).
+    EXPECT_LT(std::abs(euclid - base_box), 12.0);
+    // Angular below euclid; key-compare the cheapest by far.
+    EXPECT_LT(angular, euclid);
+    EXPECT_LT(keycmp, angular);
+    // Everything in a plausible tens-of-mW band.
+    for (const double p : {base_box, base_tri, hsu_box, hsu_tri, euclid,
+                           angular, keycmp}) {
+        EXPECT_GT(p, 10.0);
+        EXPECT_LT(p, 150.0);
+    }
+}
+
+TEST(Roofline, BoundsAndUtilization)
+{
+    RunResult r;
+    r.cycles = 1000;
+    r.hsuCompleted = 400;
+    r.l2LinesAccessed = 2000;
+    const RooflinePoint p = rooflinePoint("x", r, 1);
+    EXPECT_DOUBLE_EQ(p.performance, 0.4);
+    EXPECT_DOUBLE_EQ(p.intensity, 0.2);
+    EXPECT_DOUBLE_EQ(p.bound(), 0.2); // memory-bound region
+    EXPECT_DOUBLE_EQ(p.utilization(), 2.0); // above-roof impossible IRL
+
+    r.l2LinesAccessed = 100; // intensity 4 -> compute-bound
+    const RooflinePoint q = rooflinePoint("y", r, 1);
+    EXPECT_DOUBLE_EQ(q.bound(), 1.0);
+    EXPECT_DOUBLE_EQ(q.utilization(), 0.4);
+}
+
+TEST(Roofline, NormalizesPerUnit)
+{
+    RunResult r;
+    r.cycles = 1000;
+    r.hsuCompleted = 800;
+    r.l2LinesAccessed = 100;
+    EXPECT_DOUBLE_EQ(rooflinePoint("x", r, 4).performance, 0.2);
+}
+
+} // namespace
+} // namespace hsu

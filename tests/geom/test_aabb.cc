@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Axis-aligned bounding box invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "geom/aabb.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(Aabb, DefaultIsEmpty)
+{
+    Aabb b;
+    EXPECT_TRUE(b.empty());
+    EXPECT_FLOAT_EQ(b.surfaceArea(), 0.0f);
+}
+
+TEST(Aabb, ExpandPoint)
+{
+    Aabb b;
+    b.expand({1, 2, 3});
+    EXPECT_FALSE(b.empty());
+    EXPECT_TRUE(b.contains({1, 2, 3}));
+    EXPECT_EQ(b.lo, Vec3(1, 2, 3));
+    EXPECT_EQ(b.hi, Vec3(1, 2, 3));
+    b.expand({-1, 5, 0});
+    EXPECT_TRUE(b.contains({0, 3, 1.5f}));
+}
+
+TEST(Aabb, ExpandBoxIsUnion)
+{
+    Aabb a({0, 0, 0}, {1, 1, 1});
+    const Aabb b({2, -1, 0.5f}, {3, 0.5f, 2});
+    a.expand(b);
+    EXPECT_TRUE(a.contains({0, 0, 0}));
+    EXPECT_TRUE(a.contains({3, 0.5f, 2}));
+    EXPECT_EQ(a.lo, Vec3(0, -1, 0));
+    EXPECT_EQ(a.hi, Vec3(3, 1, 2));
+}
+
+TEST(Aabb, CenterExtent)
+{
+    const Aabb b({0, 0, 0}, {2, 4, 6});
+    EXPECT_EQ(b.center(), Vec3(1, 2, 3));
+    EXPECT_EQ(b.extent(), Vec3(2, 4, 6));
+}
+
+TEST(Aabb, SurfaceArea)
+{
+    const Aabb unit({0, 0, 0}, {1, 1, 1});
+    EXPECT_FLOAT_EQ(unit.surfaceArea(), 6.0f);
+    const Aabb slab({0, 0, 0}, {2, 3, 0});
+    EXPECT_FLOAT_EQ(slab.surfaceArea(), 2.0f * (6 + 0 + 0));
+}
+
+TEST(Aabb, ContainsBoundary)
+{
+    const Aabb b({0, 0, 0}, {1, 1, 1});
+    EXPECT_TRUE(b.contains({0, 0, 0}));
+    EXPECT_TRUE(b.contains({1, 1, 1}));
+    EXPECT_FALSE(b.contains({1.0001f, 0.5f, 0.5f}));
+    EXPECT_FALSE(b.contains({0.5f, -0.0001f, 0.5f}));
+}
+
+TEST(Aabb, Overlaps)
+{
+    const Aabb a({0, 0, 0}, {1, 1, 1});
+    EXPECT_TRUE(a.overlaps(Aabb({0.5f, 0.5f, 0.5f}, {2, 2, 2})));
+    EXPECT_TRUE(a.overlaps(Aabb({1, 1, 1}, {2, 2, 2}))); // touching
+    EXPECT_FALSE(a.overlaps(Aabb({1.1f, 0, 0}, {2, 1, 1})));
+    EXPECT_TRUE(a.overlaps(a));
+}
+
+TEST(Aabb, Distance2InsideIsZero)
+{
+    const Aabb b({0, 0, 0}, {2, 2, 2});
+    EXPECT_FLOAT_EQ(b.distance2({1, 1, 1}), 0.0f);
+    EXPECT_FLOAT_EQ(b.distance2({0, 0, 0}), 0.0f);
+}
+
+TEST(Aabb, Distance2Outside)
+{
+    const Aabb b({0, 0, 0}, {1, 1, 1});
+    EXPECT_FLOAT_EQ(b.distance2({2, 0.5f, 0.5f}), 1.0f);
+    EXPECT_FLOAT_EQ(b.distance2({2, 2, 0.5f}), 2.0f);
+    EXPECT_FLOAT_EQ(b.distance2({-1, -1, -1}), 3.0f);
+}
+
+TEST(Aabb, CenteredFactory)
+{
+    const Aabb b = Aabb::centered({1, 2, 3}, 0.5f);
+    EXPECT_EQ(b.lo, Vec3(0.5f, 1.5f, 2.5f));
+    EXPECT_EQ(b.hi, Vec3(1.5f, 2.5f, 3.5f));
+    EXPECT_TRUE(b.contains({1, 2, 3}));
+}
+
+TEST(Aabb, ContainsMatchesDistance2Property)
+{
+    // contains(p) <=> distance2(p) == 0 on random boxes/points.
+    Rng rng(77);
+    for (int i = 0; i < 200; ++i) {
+        const Vec3 c{rng.uniform(-5, 5), rng.uniform(-5, 5),
+                     rng.uniform(-5, 5)};
+        const Aabb b = Aabb::centered(c, rng.uniform(0.1f, 2.0f));
+        const Vec3 p{rng.uniform(-8, 8), rng.uniform(-8, 8),
+                     rng.uniform(-8, 8)};
+        EXPECT_EQ(b.contains(p), b.distance2(p) == 0.0f);
+    }
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Ray-box (slab) and watertight ray-triangle intersection tests,
+ * including randomized property sweeps against reference predicates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "geom/intersect.hh"
+
+namespace hsu
+{
+namespace
+{
+
+PreparedRay
+makeRay(const Vec3 &origin, const Vec3 &dir, float tmax = 1e30f)
+{
+    Ray r;
+    r.origin = origin;
+    r.dir = dir;
+    r.tmax = tmax;
+    return PreparedRay(r);
+}
+
+TEST(RayBox, DirectHit)
+{
+    const auto pr = makeRay({0, 0, 0}, {1, 0, 0});
+    const Aabb box({2, -1, -1}, {4, 1, 1});
+    const BoxHit h = rayBoxTest(pr, box);
+    EXPECT_TRUE(h.hit);
+    EXPECT_FLOAT_EQ(h.tEnter, 2.0f);
+}
+
+TEST(RayBox, MissBehind)
+{
+    const auto pr = makeRay({0, 0, 0}, {-1, 0, 0});
+    const Aabb box({2, -1, -1}, {4, 1, 1});
+    EXPECT_FALSE(rayBoxTest(pr, box).hit);
+}
+
+TEST(RayBox, OriginInsideHitsAtTmin)
+{
+    const auto pr = makeRay({0, 0, 0}, {0, 1, 0});
+    const Aabb box({-1, -1, -1}, {1, 1, 1});
+    const BoxHit h = rayBoxTest(pr, box);
+    EXPECT_TRUE(h.hit);
+    EXPECT_FLOAT_EQ(h.tEnter, 0.0f);
+}
+
+TEST(RayBox, TmaxCulls)
+{
+    const auto pr = makeRay({0, 0, 0}, {1, 0, 0}, 1.5f);
+    const Aabb box({2, -1, -1}, {4, 1, 1});
+    EXPECT_FALSE(rayBoxTest(pr, box).hit);
+}
+
+TEST(RayBox, AxisParallelRayOnSlabPlane)
+{
+    // Ray lying exactly on the box's y boundary plane: watertight slab
+    // handling must not produce NaN poisoning.
+    const auto pr = makeRay({0, 1, 0}, {1, 0, 0});
+    const Aabb box({2, -1, -1}, {4, 1, 1});
+    const BoxHit h = rayBoxTest(pr, box);
+    EXPECT_TRUE(h.hit);
+}
+
+TEST(RayBox, EmptyBoxNeverHit)
+{
+    const auto pr = makeRay({0, 0, 0}, {1, 0, 0});
+    EXPECT_FALSE(rayBoxTest(pr, Aabb{}).hit);
+}
+
+TEST(RayBox, RandomizedAgainstSampling)
+{
+    // If the slab test reports a hit with entry t, the point at t must
+    // lie (approximately) on/in the box; if it reports a miss, densely
+    // sampled ray points must all be outside.
+    Rng rng(101);
+    for (int i = 0; i < 300; ++i) {
+        const Vec3 c{rng.uniform(-3, 3), rng.uniform(-3, 3),
+                     rng.uniform(-3, 3)};
+        const Aabb box = Aabb::centered(c, rng.uniform(0.2f, 1.5f));
+        const Vec3 o{rng.uniform(-6, 6), rng.uniform(-6, 6),
+                     rng.uniform(-6, 6)};
+        Vec3 d{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+        if (length(d) < 1e-3f)
+            d = {1, 0, 0};
+        d = normalize(d);
+        const auto pr = makeRay(o, d);
+        const BoxHit h = rayBoxTest(pr, box);
+
+        if (h.hit) {
+            const Vec3 p = pr.ray.at(std::max(h.tEnter, 0.0f) + 1e-4f);
+            const Aabb grown(box.lo - Vec3(1e-2f), box.hi + Vec3(1e-2f));
+            EXPECT_TRUE(grown.contains(p))
+                << "hit point outside box, i=" << i;
+        } else {
+            for (int s = 0; s < 64; ++s) {
+                const Vec3 p = pr.ray.at(0.2f * static_cast<float>(s));
+                const Aabb shrunk(box.lo + Vec3(1e-3f),
+                                  box.hi - Vec3(1e-3f));
+                EXPECT_FALSE(shrunk.contains(p))
+                    << "missed ray passes through box, i=" << i;
+            }
+        }
+    }
+}
+
+TEST(RayTriangle, DirectHit)
+{
+    const auto pr = makeRay({0, 0, -5}, {0, 0, 1});
+    const Triangle tri{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}, 42};
+    const TriHit h = rayTriangleTest(pr, tri);
+    ASSERT_TRUE(h.hit);
+    EXPECT_EQ(h.triId, 42u);
+    EXPECT_NEAR(h.t(), 5.0f, 1e-4f);
+}
+
+TEST(RayTriangle, MissOutsideEdges)
+{
+    const auto pr = makeRay({5, 5, -5}, {0, 0, 1});
+    const Triangle tri{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}, 1};
+    EXPECT_FALSE(rayTriangleTest(pr, tri).hit);
+}
+
+TEST(RayTriangle, BehindOrigin)
+{
+    const auto pr = makeRay({0, 0, 5}, {0, 0, 1});
+    const Triangle tri{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}, 1};
+    EXPECT_FALSE(rayTriangleTest(pr, tri).hit);
+}
+
+TEST(RayTriangle, BothWindingsHit)
+{
+    // Watertight test is double-sided.
+    const auto pr = makeRay({0, 0, -5}, {0, 0, 1});
+    const Triangle fwd{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}, 1};
+    const Triangle rev{{1, -1, 0}, {-1, -1, 0}, {0, 1, 0}, 2};
+    EXPECT_TRUE(rayTriangleTest(pr, fwd).hit);
+    EXPECT_TRUE(rayTriangleTest(pr, rev).hit);
+}
+
+TEST(RayTriangle, RandomizedBarycentricConsistency)
+{
+    // Construct the hit point from a known barycentric combination and
+    // verify the test finds it with a consistent t.
+    Rng rng(202);
+    for (int i = 0; i < 300; ++i) {
+        Triangle tri;
+        tri.v0 = {rng.uniform(-2, 2), rng.uniform(-2, 2),
+                  rng.uniform(-2, 2)};
+        tri.v1 = tri.v0 + Vec3{rng.uniform(0.5f, 2), 0,
+                               rng.uniform(-0.5f, 0.5f)};
+        tri.v2 = tri.v0 + Vec3{0, rng.uniform(0.5f, 2),
+                               rng.uniform(-0.5f, 0.5f)};
+        tri.id = static_cast<std::uint32_t>(i);
+
+        float u = rng.uniform(0.05f, 0.9f);
+        float v = rng.uniform(0.05f, 0.9f);
+        if (u + v > 0.95f) {
+            u *= 0.45f;
+            v *= 0.45f;
+        }
+        const Vec3 target = tri.v0 * (1 - u - v) + tri.v1 * u +
+                            tri.v2 * v;
+        const Vec3 origin = target + Vec3{rng.uniform(1, 3),
+                                          rng.uniform(1, 3),
+                                          rng.uniform(1, 3)};
+        const Vec3 dir = normalize(target - origin);
+        const auto pr = makeRay(origin, dir);
+        const TriHit h = rayTriangleTest(pr, tri);
+        ASSERT_TRUE(h.hit) << "i=" << i;
+        const float expect_t = length(target - origin);
+        EXPECT_NEAR(h.t(), expect_t, 1e-2f * expect_t + 1e-3f);
+    }
+}
+
+TEST(RayTriangle, WatertightSharedEdge)
+{
+    // Two triangles sharing an edge: a ray through the shared edge must
+    // hit at least one of them (no cracks).
+    const Triangle a{{-1, 0, 0}, {1, 0, 0}, {0, 1, 0}, 1};
+    const Triangle b{{-1, 0, 0}, {0, -1, 0}, {1, 0, 0}, 2};
+    Rng rng(303);
+    for (int i = 0; i < 200; ++i) {
+        // Aim at a point on the shared edge (y == 0, x in [-1, 1]).
+        const float x = rng.uniform(-0.99f, 0.99f);
+        const Vec3 target{x, 0, 0};
+        const Vec3 origin{rng.uniform(-0.5f, 0.5f),
+                          rng.uniform(-0.5f, 0.5f), -4.0f};
+        const auto pr =
+            makeRay(origin, normalize(target - origin));
+        const bool hit_any = rayTriangleTest(pr, a).hit ||
+                             rayTriangleTest(pr, b).hit;
+        EXPECT_TRUE(hit_any) << "crack at x=" << x;
+    }
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Morton code tests: bit expansion, interleaving, and ordering locality.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "geom/morton.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(Morton, ExpandBits10)
+{
+    EXPECT_EQ(expandBits10(0), 0u);
+    EXPECT_EQ(expandBits10(1), 1u);
+    EXPECT_EQ(expandBits10(0b11), 0b1001u);
+    EXPECT_EQ(expandBits10(0b111), 0b1001001u);
+    // Top bit of a 10-bit value lands at position 27.
+    EXPECT_EQ(expandBits10(1u << 9), 1u << 27);
+}
+
+TEST(Morton, ExpandBits21)
+{
+    EXPECT_EQ(expandBits21(0), 0ull);
+    EXPECT_EQ(expandBits21(1), 1ull);
+    EXPECT_EQ(expandBits21(0b11), 0b1001ull);
+    EXPECT_EQ(expandBits21(1ull << 20), 1ull << 60);
+}
+
+TEST(Morton, ExpandedBitsDisjoint)
+{
+    // x, y, z channels never collide.
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        const auto v = static_cast<std::uint64_t>(
+            rng.nextBounded(1u << 21));
+        const auto w = static_cast<std::uint64_t>(
+            rng.nextBounded(1u << 21));
+        EXPECT_EQ((expandBits21(v) << 2) & (expandBits21(w) << 1), 0ull);
+        EXPECT_EQ((expandBits21(v) << 1) & expandBits21(w), 0ull);
+    }
+}
+
+TEST(Morton, CornersOfUnitCube)
+{
+    EXPECT_EQ(mortonCode30({0, 0, 0}), 0u);
+    // (1,1,1) maps to the max quantized cell -> all bits set (30 bits).
+    EXPECT_EQ(mortonCode30({1, 1, 1}), (1u << 30) - 1u);
+    EXPECT_EQ(mortonCode63({0, 0, 0}), 0ull);
+    EXPECT_EQ(mortonCode63({1, 1, 1}), (1ull << 63) - 1ull);
+}
+
+TEST(Morton, MonotoneAlongDiagonal)
+{
+    // Codes increase along the main diagonal.
+    std::uint64_t prev = 0;
+    for (int i = 1; i <= 32; ++i) {
+        const float f = static_cast<float>(i) / 33.0f;
+        const std::uint64_t code = mortonCode63({f, f, f});
+        EXPECT_GT(code, prev);
+        prev = code;
+    }
+}
+
+TEST(Morton, BoundsMapping)
+{
+    const Aabb bounds({-10, 0, 5}, {10, 20, 25});
+    EXPECT_EQ(mortonCode63(Vec3{-10, 0, 5}, bounds), 0ull);
+    EXPECT_EQ(mortonCode63(Vec3{10, 20, 25}, bounds),
+              (1ull << 63) - 1ull);
+    // Center lands strictly between.
+    const std::uint64_t mid = mortonCode63(Vec3{0, 10, 15}, bounds);
+    EXPECT_GT(mid, 0ull);
+    EXPECT_LT(mid, (1ull << 63) - 1ull);
+}
+
+TEST(Morton, DegenerateAxisIsZero)
+{
+    // A flat (zero-extent) axis maps to 0 without dividing by zero.
+    const Aabb flat({0, 0, 0}, {10, 0, 10});
+    const std::uint64_t c = mortonCode63(Vec3{5, 0, 5}, flat);
+    EXPECT_LT(c, 1ull << 63);
+}
+
+TEST(Morton, LocalityProperty)
+{
+    // Nearby points (same octant cell) share a longer common prefix
+    // than far-apart points, on average.
+    Rng rng(9);
+    double near_prefix = 0, far_prefix = 0;
+    const int trials = 200;
+    auto prefix_len = [](std::uint64_t a, std::uint64_t b) {
+        if (a == b)
+            return 64;
+        int n = 0;
+        for (int bit = 62; bit >= 0; --bit) {
+            if (((a >> bit) & 1) != ((b >> bit) & 1))
+                break;
+            ++n;
+        }
+        return n;
+    };
+    for (int i = 0; i < trials; ++i) {
+        const Vec3 p{rng.nextFloat() * 0.9f, rng.nextFloat() * 0.9f,
+                     rng.nextFloat() * 0.9f};
+        const Vec3 nearby = p + Vec3(0.001f);
+        const Vec3 far{rng.nextFloat(), rng.nextFloat(),
+                       rng.nextFloat()};
+        near_prefix += prefix_len(mortonCode63(p), mortonCode63(nearby));
+        far_prefix += prefix_len(mortonCode63(p), mortonCode63(far));
+    }
+    EXPECT_GT(near_prefix / trials, far_prefix / trials + 5.0);
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Vec3 arithmetic and algebraic-identity tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "geom/vec3.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(Vec3, BasicArithmetic)
+{
+    const Vec3 a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_EQ(a + b, Vec3(5, 7, 9));
+    EXPECT_EQ(b - a, Vec3(3, 3, 3));
+    EXPECT_EQ(a * 2.0f, Vec3(2, 4, 6));
+    EXPECT_EQ(2.0f * a, Vec3(2, 4, 6));
+    EXPECT_EQ(a * b, Vec3(4, 10, 18));
+    EXPECT_EQ(-a, Vec3(-1, -2, -3));
+    EXPECT_EQ(b / 2.0f, Vec3(2, 2.5f, 3));
+}
+
+TEST(Vec3, CompoundAssignment)
+{
+    Vec3 v{1, 1, 1};
+    v += Vec3{1, 2, 3};
+    EXPECT_EQ(v, Vec3(2, 3, 4));
+    v -= Vec3{1, 1, 1};
+    EXPECT_EQ(v, Vec3(1, 2, 3));
+    v *= 3.0f;
+    EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3, Indexing)
+{
+    Vec3 v{7, 8, 9};
+    EXPECT_EQ(v[0], 7);
+    EXPECT_EQ(v[1], 8);
+    EXPECT_EQ(v[2], 9);
+    v[1] = 42;
+    EXPECT_EQ(v.y, 42);
+}
+
+TEST(Vec3, DotAndLength)
+{
+    const Vec3 a{3, 4, 0};
+    EXPECT_FLOAT_EQ(dot(a, a), 25.0f);
+    EXPECT_FLOAT_EQ(length2(a), 25.0f);
+    EXPECT_FLOAT_EQ(length(a), 5.0f);
+    EXPECT_FLOAT_EQ(dot(a, Vec3{0, 0, 1}), 0.0f);
+}
+
+TEST(Vec3, CrossProductIdentities)
+{
+    const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+    EXPECT_EQ(cross(x, y), z);
+    EXPECT_EQ(cross(y, z), x);
+    EXPECT_EQ(cross(z, x), y);
+    // Anti-commutativity and orthogonality on random vectors.
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        const Vec3 a{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+        const Vec3 b{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+        const Vec3 c = cross(a, b);
+        const Vec3 d = cross(b, a);
+        EXPECT_NEAR(c.x, -d.x, 1e-4f);
+        EXPECT_NEAR(dot(c, a), 0.0f, 1e-3f);
+        EXPECT_NEAR(dot(c, b), 0.0f, 1e-3f);
+    }
+}
+
+TEST(Vec3, NormalizeUnitLength)
+{
+    Rng rng(12);
+    for (int i = 0; i < 50; ++i) {
+        const Vec3 v{rng.uniform(-5, 5), rng.uniform(-5, 5),
+                     rng.uniform(1, 5)};
+        EXPECT_NEAR(length(normalize(v)), 1.0f, 1e-5f);
+    }
+}
+
+TEST(Vec3, MinMaxComponentwise)
+{
+    const Vec3 a{1, 5, 3}, b{2, 4, 3};
+    EXPECT_EQ(min(a, b), Vec3(1, 4, 3));
+    EXPECT_EQ(max(a, b), Vec3(2, 5, 3));
+}
+
+TEST(Vec3, Distance2)
+{
+    EXPECT_FLOAT_EQ(distance2({0, 0, 0}, {1, 2, 2}), 9.0f);
+    EXPECT_FLOAT_EQ(distance2({1, 1, 1}, {1, 1, 1}), 0.0f);
+}
+
+} // namespace
+} // namespace hsu

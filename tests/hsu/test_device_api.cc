@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The HSU device-library intrinsics: multi-beat lowering must be
+ * numerically identical to the direct computation for every dimension,
+ * and the emitted instruction counts must follow ceil(n / width).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "hsu/device_api.hh"
+
+namespace hsu
+{
+namespace
+{
+
+std::vector<float>
+randomVec(unsigned n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = rng.gaussian();
+    return v;
+}
+
+float
+refEuclid(const float *a, const float *b, unsigned n)
+{
+    float s = 0;
+    for (unsigned i = 0; i < n; ++i)
+        s += (a[i] - b[i]) * (a[i] - b[i]);
+    return s;
+}
+
+/** Dimension sweep covering beat boundaries of both modes. */
+class DeviceApiDims : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DeviceApiDims, EuclidMatchesReference)
+{
+    const unsigned n = GetParam();
+    const auto a = randomVec(n, n * 2 + 1);
+    const auto b = randomVec(n, n * 2 + 2);
+    const float got = euclidDist(a.data(), b.data(), n);
+    const float want = refEuclid(a.data(), b.data(), n);
+    EXPECT_NEAR(got, want, 1e-4f * std::max(1.0f, want));
+}
+
+TEST_P(DeviceApiDims, AngularRawMatchesReference)
+{
+    const unsigned n = GetParam();
+    const auto a = randomVec(n, n * 3 + 1);
+    const auto b = randomVec(n, n * 3 + 2);
+    const AngularDistResult got = angularDistRaw(a.data(), b.data(), n);
+    float dot = 0, norm = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        dot += a[i] * b[i];
+        norm += b[i] * b[i];
+    }
+    EXPECT_NEAR(got.dotSum, dot, 1e-3f * std::max(1.0f, std::fabs(dot)));
+    EXPECT_NEAR(got.normSum, norm, 1e-3f * norm);
+}
+
+TEST_P(DeviceApiDims, InstructionCounts)
+{
+    const unsigned n = GetParam();
+    const DatapathConfig dp;
+    EXPECT_EQ(euclidInstrCount(n, dp), (n + 15) / 16);
+    EXPECT_EQ(angularInstrCount(n, dp), (n + 7) / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimSweep, DeviceApiDims,
+    ::testing::Values(1u, 2u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u,
+                      33u, 64u, 65u, 96u, 127u, 128u, 200u, 256u, 784u,
+                      960u));
+
+TEST(DeviceApi, PaperExampleDim65Angular)
+{
+    // Section IV-F: "9 instructions would be generated for an angular
+    // distance test on a point with a dimension of 65".
+    EXPECT_EQ(angularInstrCount(65), 9u);
+}
+
+TEST(DeviceApi, AngularDistCosineIdentity)
+{
+    // angular distance of a vector with itself is ~0; with its negation
+    // it is ~2.
+    const auto a = randomVec(40, 7);
+    const float qn = norm2(a.data(), 40);
+    EXPECT_NEAR(angularDist(a.data(), a.data(), 40, qn), 0.0f, 1e-4f);
+    auto neg = a;
+    for (auto &x : neg)
+        x = -x;
+    EXPECT_NEAR(angularDist(a.data(), neg.data(), 40, qn), 2.0f, 1e-4f);
+}
+
+TEST(DeviceApi, AngularZeroVectorSafe)
+{
+    const auto a = randomVec(8, 8);
+    const std::vector<float> zero(8, 0.0f);
+    EXPECT_FLOAT_EQ(
+        angularDist(a.data(), zero.data(), 8, norm2(a.data(), 8)), 1.0f);
+}
+
+TEST(DeviceApi, WidthConfigChangesBeats)
+{
+    DatapathConfig dp;
+    dp.euclidWidth = 32;
+    EXPECT_EQ(dp.angularWidth(), 16u);
+    EXPECT_EQ(euclidInstrCount(128, dp), 4u);
+    EXPECT_EQ(angularInstrCount(128, dp), 8u);
+    // Results unchanged by width.
+    const auto a = randomVec(128, 9), b = randomVec(128, 10);
+    EXPECT_NEAR(euclidDist(a.data(), b.data(), 128, dp),
+                euclidDist(a.data(), b.data(), 128, DatapathConfig{}),
+                1e-2f);
+}
+
+TEST(DeviceApi, BytesPerBeat)
+{
+    const DatapathConfig dp;
+    EXPECT_EQ(dp.bytesPerBeat(HsuMode::Euclid), 64u);
+    EXPECT_EQ(dp.bytesPerBeat(HsuMode::Angular), 32u);
+    EXPECT_EQ(dp.bytesPerBeat(HsuMode::KeyCompare), 144u);
+    EXPECT_EQ(dp.bytesPerBeat(HsuMode::RayBox), 128u);
+    EXPECT_EQ(dp.bytesPerBeat(HsuMode::RayTri), 48u);
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * HSU instruction-word encoding tests: field round-trips, invalid-word
+ * rejection, disassembly, and multi-beat sequence assembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hsu/encoding.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(Encoding, RoundTripsAllOpcodes)
+{
+    for (const HsuOpcode op :
+         {HsuOpcode::RayIntersect, HsuOpcode::PointEuclid,
+          HsuOpcode::PointAngular, HsuOpcode::KeyCompare}) {
+        HsuInstrFields f;
+        f.opcode = op;
+        f.accumulate = op == HsuOpcode::PointEuclid;
+        f.dstReg = 12;
+        f.srcReg = 34;
+        f.count = op == HsuOpcode::KeyCompare ? 36 : 0;
+        f.imm = 0xdeadbeef;
+        f.nodeAddr = 0xabcdef012345ull;
+        const HsuInstrWord w = encodeInstr(f);
+        const auto back = decodeInstr(w);
+        ASSERT_TRUE(back.has_value()) << toString(op);
+        EXPECT_EQ(*back, f) << toString(op);
+    }
+}
+
+TEST(Encoding, FieldIsolation)
+{
+    // Changing one field must not disturb the others.
+    HsuInstrFields f;
+    f.opcode = HsuOpcode::PointAngular;
+    f.nodeAddr = 0x1000;
+    const HsuInstrWord base = encodeInstr(f);
+    f.dstReg = 200;
+    const HsuInstrWord changed = encodeInstr(f);
+    EXPECT_NE(base, changed);
+    const auto d = decodeInstr(changed);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->nodeAddr, 0x1000u);
+    EXPECT_EQ(d->dstReg, 200);
+    EXPECT_EQ(d->opcode, HsuOpcode::PointAngular);
+}
+
+TEST(Encoding, RejectsMalformedWords)
+{
+    // Bad opcode.
+    HsuInstrWord w;
+    w.word0 = 0x3f;
+    EXPECT_FALSE(decodeInstr(w).has_value());
+    // Reserved bit set.
+    w.word0 = 0x80;
+    EXPECT_FALSE(decodeInstr(w).has_value());
+    // Reserved high node-address bits.
+    w.word0 = 0;
+    w.word1 = 1ull << 60;
+    EXPECT_FALSE(decodeInstr(w).has_value());
+    // Accumulate on a non-distance instruction.
+    HsuInstrFields f;
+    f.opcode = HsuOpcode::RayIntersect;
+    HsuInstrWord ok = encodeInstr(f);
+    ok.word0 |= 1u << 6;
+    EXPECT_FALSE(decodeInstr(ok).has_value());
+    // Separator count out of range.
+    HsuInstrWord kc = encodeInstr({HsuOpcode::KeyCompare, false, 0, 0,
+                                   36, 0, 0});
+    kc.word0 = (kc.word0 & ~(0xffull << 24)) | (37ull << 24);
+    EXPECT_FALSE(decodeInstr(kc).has_value());
+}
+
+TEST(Encoding, EncodePanicsOnBadFields)
+{
+    HsuInstrFields f;
+    f.nodeAddr = 1ull << 48;
+    EXPECT_DEATH(encodeInstr(f), "48 bits");
+    HsuInstrFields g;
+    g.count = 37;
+    EXPECT_DEATH(encodeInstr(g), "36");
+}
+
+TEST(Encoding, Disassembly)
+{
+    HsuInstrFields f;
+    f.opcode = HsuOpcode::PointEuclid;
+    f.accumulate = true;
+    f.dstReg = 4;
+    f.srcReg = 8;
+    f.nodeAddr = 0x40;
+    const std::string s = disassemble(encodeInstr(f));
+    EXPECT_NE(s.find("POINT_EUCLID.acc"), std::string::npos) << s;
+    EXPECT_NE(s.find("r4"), std::string::npos);
+    EXPECT_NE(s.find("0x40"), std::string::npos);
+    EXPECT_EQ(disassemble(HsuInstrWord{0x3f, 0}), "<invalid>");
+}
+
+TEST(Encoding, DistanceSequencePaperExample)
+{
+    // Section IV-F: dim 65 angular -> 9 instructions, first 8 with the
+    // accumulate bit, the last without.
+    const auto seq = encodeDistanceSequence(HsuOpcode::PointAngular, 65,
+                                            0x2000, 4, 8);
+    ASSERT_EQ(seq.size(), 9u);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        const auto f = decodeInstr(seq[i]);
+        ASSERT_TRUE(f);
+        EXPECT_EQ(f->accumulate, i + 1 < seq.size()) << i;
+        EXPECT_EQ(f->opcode, HsuOpcode::PointAngular);
+        // Node pointer advances by the 32B angular beat fetch.
+        EXPECT_EQ(f->nodeAddr, 0x2000u + i * 32);
+        EXPECT_EQ(f->imm, 65u);
+    }
+}
+
+TEST(Encoding, SingleBeatSequenceHasNoAccumulate)
+{
+    const auto seq =
+        encodeDistanceSequence(HsuOpcode::PointEuclid, 16, 0x100, 0, 0);
+    ASSERT_EQ(seq.size(), 1u);
+    EXPECT_FALSE(decodeInstr(seq[0])->accumulate);
+}
+
+} // namespace
+} // namespace hsu

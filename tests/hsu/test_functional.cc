@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Functional semantics of the HSU instructions (Table I): distance
+ * partials, the multi-beat accumulator, key compares, and the box-node
+ * closest-hit sort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "hsu/functional.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(EuclidPartial, MatchesReference)
+{
+    const float a[4] = {1, 2, 3, 4};
+    const float b[4] = {2, 0, 3, 8};
+    EXPECT_FLOAT_EQ(euclidPartial(a, b, 4), 1 + 4 + 0 + 16);
+    EXPECT_FLOAT_EQ(euclidPartial(a, b, 1), 1.0f);
+    EXPECT_FLOAT_EQ(euclidPartial(a, a, 4), 0.0f);
+}
+
+TEST(AngularPartial, MatchesReference)
+{
+    const float q[3] = {1, 0, 2};
+    const float c[3] = {3, 4, 5};
+    const AngularPartial p = angularPartial(q, c, 3);
+    EXPECT_FLOAT_EQ(p.dotSum, 3 + 0 + 10);
+    EXPECT_FLOAT_EQ(p.normSum, 9 + 16 + 25);
+}
+
+TEST(DistanceAccumulator, EuclidMultiBeat)
+{
+    DistanceAccumulator acc;
+    EXPECT_FLOAT_EQ(acc.feedEuclid(1.5f, true), 0.0f);
+    EXPECT_TRUE(acc.open());
+    EXPECT_FLOAT_EQ(acc.feedEuclid(2.5f, true), 0.0f);
+    EXPECT_FLOAT_EQ(acc.feedEuclid(1.0f, false), 5.0f);
+    EXPECT_FALSE(acc.open());
+    // Accumulator resets after the final beat.
+    EXPECT_FLOAT_EQ(acc.feedEuclid(7.0f, false), 7.0f);
+}
+
+TEST(DistanceAccumulator, AngularMultiBeat)
+{
+    DistanceAccumulator acc;
+    acc.feedAngular({1.0f, 2.0f}, true);
+    const AngularPartial total = acc.feedAngular({3.0f, 4.0f}, false);
+    EXPECT_FLOAT_EQ(total.dotSum, 4.0f);
+    EXPECT_FLOAT_EQ(total.normSum, 6.0f);
+    EXPECT_FALSE(acc.open());
+}
+
+TEST(KeyCompare, BitVectorSemantics)
+{
+    const std::uint32_t seps[5] = {10, 20, 30, 40, 50};
+    // Bit i is 1 iff key >= seps[i] (Table I).
+    EXPECT_EQ(keyCompare(5, seps, 5), 0b00000ull);
+    EXPECT_EQ(keyCompare(10, seps, 5), 0b00001ull);
+    EXPECT_EQ(keyCompare(25, seps, 5), 0b00011ull);
+    EXPECT_EQ(keyCompare(50, seps, 5), 0b11111ull);
+    EXPECT_EQ(keyCompare(1000, seps, 5), 0b11111ull);
+}
+
+TEST(KeyCompare, Full36Wide)
+{
+    std::uint32_t seps[36];
+    for (unsigned i = 0; i < 36; ++i)
+        seps[i] = (i + 1) * 10;
+    EXPECT_EQ(keyCompare(360, seps, 36), (1ull << 36) - 1);
+    EXPECT_EQ(keyCompare(0, seps, 36), 0ull);
+    // Popcount of the result is the child slot.
+    for (unsigned i = 0; i < 36; ++i) {
+        const std::uint64_t bits = keyCompare((i + 1) * 10, seps, 36);
+        EXPECT_EQ(static_cast<unsigned>(__builtin_popcountll(bits)),
+                  i + 1);
+    }
+}
+
+TEST(KeyCompare, TooManySeparatorsPanics)
+{
+    std::uint32_t seps[37] = {};
+    EXPECT_DEATH(keyCompare(0, seps, 37), "at most 36");
+}
+
+PreparedRay
+axisRay()
+{
+    Ray r;
+    r.origin = {0, 0, 0};
+    r.dir = {1, 0, 0};
+    return PreparedRay(r);
+}
+
+TEST(RayIntersectBox, SortsByClosestHit)
+{
+    BoxNode4 node;
+    // Children at x = 6, 2, 4 (and one miss).
+    node.bounds[0] = Aabb::centered({6, 0, 0}, 0.5f);
+    node.bounds[1] = Aabb::centered({2, 0, 0}, 0.5f);
+    node.bounds[2] = Aabb::centered({4, 0, 0}, 0.5f);
+    node.bounds[3] = Aabb::centered({0, 10, 0}, 0.5f);
+    for (unsigned i = 0; i < 4; ++i)
+        node.child[i] = 100 + i;
+
+    const BoxIntersectResult r = rayIntersectBox(axisRay(), node);
+    EXPECT_EQ(r.hits, 3u);
+    EXPECT_EQ(r.sortedChild[0], 101u);
+    EXPECT_EQ(r.sortedChild[1], 102u);
+    EXPECT_EQ(r.sortedChild[2], 100u);
+    EXPECT_EQ(r.sortedChild[3], kInvalidNode);
+    EXPECT_LE(r.tEnter[0], r.tEnter[1]);
+    EXPECT_LE(r.tEnter[1], r.tEnter[2]);
+}
+
+TEST(RayIntersectBox, InvalidSlotsSkipped)
+{
+    BoxNode4 node;
+    node.bounds[0] = Aabb::centered({3, 0, 0}, 0.5f);
+    node.child[0] = 7;
+    // Slots 1-3 invalid by default.
+    const BoxIntersectResult r = rayIntersectBox(axisRay(), node);
+    EXPECT_EQ(r.hits, 1u);
+    EXPECT_EQ(r.sortedChild[0], 7u);
+    EXPECT_EQ(node.arity(), 1u);
+}
+
+TEST(RayIntersectBox, AllMiss)
+{
+    BoxNode4 node;
+    for (unsigned i = 0; i < 4; ++i) {
+        node.bounds[i] = Aabb::centered({0, 5 + static_cast<float>(i),
+                                         0}, 0.4f);
+        node.child[i] = i;
+    }
+    const BoxIntersectResult r = rayIntersectBox(axisRay(), node);
+    EXPECT_EQ(r.hits, 0u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(r.sortedChild[i], kInvalidNode);
+}
+
+TEST(RayIntersectTri, ReturnsRatio)
+{
+    TriNode node;
+    node.tri = Triangle{{2, -1, -1}, {2, 1, -1}, {2, 0, 1}, 9};
+    const TriHit h = rayIntersectTri(axisRay(), node);
+    ASSERT_TRUE(h.hit);
+    EXPECT_EQ(h.triId, 9u);
+    EXPECT_NEAR(h.tNum / h.tDenom, 2.0f, 1e-4f);
+}
+
+TEST(ChildRefEncoding, RoundTrips)
+{
+    const std::uint32_t leaf = makeChildRef(1234, true);
+    const std::uint32_t inner = makeChildRef(1234, false);
+    EXPECT_TRUE(childIsLeaf(leaf));
+    EXPECT_FALSE(childIsLeaf(inner));
+    EXPECT_EQ(childIndex(leaf), 1234u);
+    EXPECT_EQ(childIndex(inner), 1234u);
+    EXPECT_FALSE(childIsLeaf(kInvalidNode));
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * FR-FCFS DRAM model tests: row-hit prioritization, bank mapping,
+ * locality accounting, and drain behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "mem/dram.hh"
+
+namespace hsu
+{
+namespace
+{
+
+DramParams
+smallParams()
+{
+    DramParams p;
+    p.banks = 4;
+    p.linesPerRow = 4;
+    p.rowHitLatency = 5;
+    p.rowMissLatency = 20;
+    p.bankCycleTime = 2;
+    return p;
+}
+
+void
+runUntilIdle(Dram &dram, std::uint64_t &now, std::uint64_t limit = 10000)
+{
+    while (!dram.idle()) {
+        dram.tick(now);
+        ASSERT_LT(++now, limit);
+    }
+}
+
+TEST(Dram, SingleAccessCompletes)
+{
+    StatGroup stats;
+    Dram dram(smallParams(), stats);
+    int done = 0;
+    dram.enqueue(0, false, [&] { ++done; }, 0);
+    std::uint64_t now = 0;
+    runUntilIdle(dram, now);
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(stats.get("dram.accesses"), 1.0);
+    EXPECT_EQ(stats.get("dram.activations"), 1.0); // cold row
+    EXPECT_EQ(stats.get("dram.row_hits"), 0.0);
+}
+
+TEST(Dram, RowHitsAfterActivation)
+{
+    StatGroup stats;
+    Dram dram(smallParams(), stats);
+    // Lines 0, 4, 8 on bank 0 share row 0 (linesPerRow=4, 4 banks:
+    // bank = line % 4, row = (line / 4) / 4).
+    int done = 0;
+    for (std::uint64_t line : {0ull, 4ull, 8ull})
+        dram.enqueue(line, false, [&] { ++done; }, 0);
+    std::uint64_t now = 0;
+    runUntilIdle(dram, now);
+    EXPECT_EQ(done, 3);
+    EXPECT_EQ(stats.get("dram.activations"), 1.0);
+    EXPECT_EQ(stats.get("dram.row_hits"), 2.0);
+    EXPECT_NEAR(dram.rowLocality(), 3.0, 1e-9);
+}
+
+TEST(Dram, FrFcfsPrioritizesOpenRow)
+{
+    StatGroup stats;
+    Dram dram(smallParams(), stats);
+    std::vector<int> order;
+    // Same bank (line % 4 == 0): rows 0, 1, 0.
+    dram.enqueue(0, false, [&] { order.push_back(0); }, 0);
+    dram.enqueue(16, false, [&] { order.push_back(1); }, 0);
+    dram.enqueue(4, false, [&] { order.push_back(2); }, 0);
+    std::uint64_t now = 0;
+    runUntilIdle(dram, now);
+    // Request 2 (row 0) jumps the older row-1 request.
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 2);
+    EXPECT_EQ(order[2], 1);
+}
+
+TEST(Dram, BanksServiceInParallel)
+{
+    StatGroup stats;
+    DramParams p = smallParams();
+    Dram dram(p, stats);
+    int done = 0;
+    // Four requests on four different banks.
+    for (std::uint64_t line = 0; line < 4; ++line)
+        dram.enqueue(line, false, [&] { ++done; }, 0);
+    std::uint64_t now = 0;
+    // All four finish within one row-miss latency + slack because the
+    // banks overlap.
+    while (!dram.idle() && now < p.rowMissLatency + 5) {
+        dram.tick(now);
+        ++now;
+    }
+    EXPECT_EQ(done, 4);
+}
+
+TEST(Dram, WritesAffectRowBuffer)
+{
+    StatGroup stats;
+    Dram dram(smallParams(), stats);
+    dram.enqueue(0, true, MemCompletion{}, 0);
+    dram.enqueue(4, false, MemCompletion{}, 0); // row hit after write
+    std::uint64_t now = 0;
+    runUntilIdle(dram, now);
+    EXPECT_EQ(stats.get("dram.row_hits"), 1.0);
+}
+
+TEST(Dram, LocalityZeroWithoutTraffic)
+{
+    StatGroup stats;
+    Dram dram(smallParams(), stats);
+    EXPECT_EQ(dram.rowLocality(), 0.0);
+    EXPECT_TRUE(dram.idle());
+}
+
+TEST(Dram, NonPowerOfTwoBanksPanics)
+{
+    StatGroup stats;
+    DramParams p = smallParams();
+    p.banks = 3;
+    EXPECT_DEATH(Dram(p, stats), "power of two");
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Memory-hierarchy integration tests: request flow L1 -> L2 -> DRAM and
+ * back, inclusive stats, and drain detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "mem/memsys.hh"
+
+namespace hsu
+{
+namespace
+{
+
+MemSysParams
+smallParams()
+{
+    MemSysParams p;
+    p.numL1 = 2;
+    p.l1.sizeBytes = 4096;
+    p.l1.assoc = 2;
+    p.l2.sizeBytes = 16384;
+    p.l2.assoc = 4;
+    p.icntLatency = 5;
+    return p;
+}
+
+void
+runCycles(MemorySystem &mem, std::uint64_t &now, std::uint64_t n)
+{
+    for (std::uint64_t i = 0; i < n; ++i)
+        mem.tick(now++);
+}
+
+TEST(MemSys, ColdMissRoundTrip)
+{
+    StatGroup stats;
+    MemorySystem mem(smallParams(), stats);
+    int done = 0;
+    EXPECT_EQ(mem.l1(0).access(0x100000, false, [&] { ++done; }, 0),
+              CacheOutcome::Miss);
+    std::uint64_t now = 0;
+    runCycles(mem, now, 400);
+    EXPECT_EQ(done, 1);
+    EXPECT_TRUE(mem.idle());
+    EXPECT_EQ(stats.get("l1d.0.misses"), 1.0);
+    EXPECT_EQ(stats.get("l2.misses"), 1.0);
+    EXPECT_EQ(stats.get("dram.accesses"), 1.0);
+    EXPECT_EQ(stats.get("l2.lines_accessed"), 1.0);
+}
+
+TEST(MemSys, SecondL1HitsAfterFill)
+{
+    StatGroup stats;
+    MemorySystem mem(smallParams(), stats);
+    int done = 0;
+    mem.l1(0).access(0x100000, false, [&] { ++done; }, 0);
+    std::uint64_t now = 0;
+    runCycles(mem, now, 400);
+    EXPECT_EQ(mem.l1(0).access(0x100000, false, [&] { ++done; }, now),
+              CacheOutcome::Hit);
+    runCycles(mem, now, 50);
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(stats.get("dram.accesses"), 1.0);
+}
+
+TEST(MemSys, L2SharedAcrossL1s)
+{
+    StatGroup stats;
+    MemorySystem mem(smallParams(), stats);
+    int done = 0;
+    mem.l1(0).access(0x200000, false, [&] { ++done; }, 0);
+    std::uint64_t now = 0;
+    runCycles(mem, now, 400);
+    // The other SM's L1 misses but the L2 already has the line: no new
+    // DRAM access.
+    mem.l1(1).access(0x200000, false, [&] { ++done; }, now);
+    runCycles(mem, now, 400);
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(stats.get("dram.accesses"), 1.0);
+    EXPECT_EQ(stats.get("l2.hits"), 1.0);
+}
+
+TEST(MemSys, WritesReachDram)
+{
+    StatGroup stats;
+    MemorySystem mem(smallParams(), stats);
+    int done = 0;
+    mem.l1(0).access(0x300000, true, [&] { ++done; }, 0);
+    std::uint64_t now = 0;
+    runCycles(mem, now, 600);
+    EXPECT_EQ(done, 1);
+    EXPECT_TRUE(mem.idle());
+    EXPECT_EQ(stats.get("dram.accesses"), 1.0);
+}
+
+TEST(MemSys, ManyParallelMissesDrain)
+{
+    StatGroup stats;
+    MemorySystem mem(smallParams(), stats);
+    int done = 0;
+    std::uint64_t now = 0;
+    for (int i = 0; i < 16; ++i) {
+        // Stagger to respect MSHR limits.
+        while (mem.l1(0).access(0x400000 + i * 4096, false,
+                                [&] { ++done; }, now) !=
+               CacheOutcome::Miss) {
+            mem.tick(now++);
+        }
+    }
+    runCycles(mem, now, 3000);
+    EXPECT_EQ(done, 16);
+    EXPECT_TRUE(mem.idle());
+    EXPECT_EQ(stats.get("dram.accesses"), 16.0);
+}
+
+TEST(MemSys, LatencyHierarchyOrdering)
+{
+    // An L2 hit must be served faster than a DRAM round trip.
+    StatGroup stats;
+    MemorySystem mem(smallParams(), stats);
+    std::uint64_t cold_done = 0, warm_done = 0;
+    std::uint64_t now = 0;
+    mem.l1(0).access(0x500000, false, [&] { cold_done = 1; }, 0);
+    while (cold_done == 0) {
+        mem.tick(now++);
+        ASSERT_LT(now, 2000u);
+    }
+    const std::uint64_t cold_latency = now;
+
+    // Evict from L1 by filling its sets... simpler: use the other L1.
+    const std::uint64_t start = now;
+    mem.l1(1).access(0x500000, false, [&] { warm_done = 1; }, now);
+    while (warm_done == 0) {
+        mem.tick(now++);
+        ASSERT_LT(now, start + 2000);
+    }
+    EXPECT_LT(now - start, cold_latency);
+}
+
+} // namespace
+} // namespace hsu

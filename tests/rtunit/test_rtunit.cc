@@ -1,0 +1,235 @@
+/**
+ * @file
+ * RT/HSU unit timing tests: dispatch arbitration, operand gathering,
+ * datapath streaming, per-warp ordering, multi-beat sequences, and
+ * warp-buffer capacity effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "mem/cache.hh"
+#include "rtunit/rtunit.hh"
+
+namespace hsu
+{
+namespace
+{
+
+struct RtFixture : public ::testing::Test
+{
+    StatGroup stats;
+    CacheParams cparams{.name = "l1", .sizeBytes = 64 * 1024,
+                        .assoc = 8, .lineBytes = 128, .hitLatency = 4,
+                        .mshrEntries = 16, .mshrMergesPerEntry = 8,
+                        .missQueueCapacity = 16};
+    std::unique_ptr<Cache> l1;
+    std::unique_ptr<RtUnit> rt;
+    WarpTrace wt;
+    std::uint64_t now = 0;
+
+    void
+    build(unsigned warp_buffer = 8)
+    {
+        l1 = std::make_unique<Cache>(cparams, stats);
+        // Back the L1 with an always-accepting 20-cycle "L2".
+        l1->setSendLower([this](std::uint64_t line, bool write,
+                                std::uint64_t t) {
+            if (!write)
+                fills.emplace_back(t + 20, line);
+            return true;
+        });
+        RtUnitParams rp;
+        rp.warpBufferSize = warp_buffer;
+        rt = std::make_unique<RtUnit>(rp, *l1, stats);
+    }
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> fills;
+
+    void
+    tickAll(bool grant_rt = true)
+    {
+        // Deliver due fills.
+        for (auto it = fills.begin(); it != fills.end();) {
+            if (it->first <= now) {
+                l1->fill(it->second, now);
+                it = fills.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        l1->tick(now);
+        rt->tick(grant_rt, now);
+        ++now;
+    }
+
+    TraceOp
+    makeOp(std::uint32_t mask, unsigned beats, unsigned bytes,
+           std::uint64_t base)
+    {
+        TraceOp op;
+        op.type = OpType::HsuOp;
+        op.hsuOp = HsuOpcode::PointEuclid;
+        op.hsuMode = HsuMode::Euclid;
+        op.activeMask = mask;
+        op.count = static_cast<std::uint16_t>(beats);
+        op.bytesPerLane = static_cast<std::uint16_t>(bytes);
+        op.addr.poolIndex = static_cast<std::int32_t>(wt.addrPool.size());
+        for (unsigned l = 0; l < kWarpSize; ++l)
+            wt.addrPool.push_back(base + l * 4096ull);
+        return op;
+    }
+};
+
+TEST_F(RtFixture, SingleInstructionCompletes)
+{
+    build();
+    int done = 0;
+    const TraceOp op = makeOp(0x1, 1, 64, 0x100000);
+    ASSERT_TRUE(rt->tryDispatch(0, 0, wt, op, [&] { ++done; }, now));
+    for (int i = 0; i < 200 && done == 0; ++i)
+        tickAll();
+    EXPECT_EQ(done, 1);
+    EXPECT_TRUE(rt->drained());
+    EXPECT_EQ(stats.get("rtu.completed"), 1.0);
+}
+
+TEST_F(RtFixture, OneDispatchPerCycle)
+{
+    build();
+    const TraceOp op = makeOp(0x1, 1, 64, 0x100000);
+    EXPECT_TRUE(rt->tryDispatch(0, 0, wt, op, nullptr, now));
+    EXPECT_FALSE(rt->tryDispatch(1, 1, wt, op, nullptr, now));
+    ++now;
+    EXPECT_TRUE(rt->tryDispatch(1, 1, wt, op, nullptr, now));
+    EXPECT_EQ(stats.get("rtu.reject_arbiter"), 1.0);
+}
+
+TEST_F(RtFixture, WarpBufferCapacityRejects)
+{
+    build(2);
+    const TraceOp op = makeOp(0x1, 1, 64, 0x100000);
+    EXPECT_TRUE(rt->tryDispatch(0, 0, wt, op, nullptr, now));
+    ++now;
+    EXPECT_TRUE(rt->tryDispatch(0, 1, wt, op, nullptr, now));
+    ++now;
+    EXPECT_FALSE(rt->tryDispatch(0, 2, wt, op, nullptr, now));
+    EXPECT_EQ(stats.get("rtu.reject_no_entry"), 1.0);
+}
+
+TEST_F(RtFixture, MultiBeatCountsAllBeats)
+{
+    build();
+    int done = 0;
+    const TraceOp op = makeOp(0x3, 4, 64, 0x200000); // 2 lanes, 4 beats
+    ASSERT_TRUE(rt->tryDispatch(0, 0, wt, op, [&] { ++done; }, now));
+    for (int i = 0; i < 400 && done == 0; ++i)
+        tickAll();
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(stats.get("rtu.completed"), 4.0);
+    EXPECT_EQ(stats.get("rtu.dispatched"), 1.0);
+    // Datapath streamed lanes x beats = 8 thread-beats.
+    EXPECT_GE(stats.get("rtu.busy_cycles"), 8.0);
+}
+
+TEST_F(RtFixture, DatapathLatencyScalesWithLanes)
+{
+    build();
+    int done_sparse = 0, done_dense = 0;
+    // Warm the cache so both runs gather instantly.
+    const TraceOp sparse = makeOp(0x1, 1, 64, 0x300000);
+    const TraceOp dense = makeOp(kFullMask, 1, 64, 0x300000);
+    ASSERT_TRUE(rt->tryDispatch(0, 0, wt, sparse, [&] { ++done_sparse; },
+                                now));
+    std::uint64_t start = now;
+    while (done_sparse == 0)
+        tickAll();
+    const std::uint64_t sparse_latency = now - start;
+
+    ASSERT_TRUE(rt->tryDispatch(0, 1, wt, dense, [&] { ++done_dense; },
+                                now));
+    start = now;
+    while (done_dense == 0)
+        tickAll();
+    const std::uint64_t dense_latency = now - start;
+    // 32 active lanes take ~31 more issue cycles than 1 lane; cache is
+    // warm for the overlapping lines but dense touches 32 lines.
+    EXPECT_GT(dense_latency, sparse_latency + 20);
+}
+
+TEST_F(RtFixture, SameLineRequestsMergeAcrossEntries)
+{
+    build();
+    const TraceOp a = makeOp(0x1, 1, 64, 0x400000);
+    const TraceOp b = makeOp(0x1, 1, 64, 0x400000); // same line
+    ASSERT_TRUE(rt->tryDispatch(0, 0, wt, a, nullptr, now));
+    ++now;
+    ASSERT_TRUE(rt->tryDispatch(0, 1, wt, b, nullptr, now));
+    EXPECT_EQ(stats.get("rtu.mem_requests"), 1.0); // merged
+    for (int i = 0; i < 200 && !rt->drained(); ++i)
+        tickAll();
+    EXPECT_TRUE(rt->drained());
+    EXPECT_EQ(stats.get("rtu.completed"), 2.0);
+}
+
+TEST_F(RtFixture, PerWarpInOrderCompletion)
+{
+    build();
+    std::vector<int> order;
+    // Warp 0 issues two instructions; the first touches a cold line
+    // (slow), the second a warm one (fast). Results must still retire
+    // in dispatch order.
+    const TraceOp slow = makeOp(0x1, 1, 64, 0x500000);
+    ASSERT_TRUE(rt->tryDispatch(0, 0, wt, slow,
+                                [&] { order.push_back(1); }, now));
+    ++now;
+    // Pre-warm the second line.
+    l1->access(0x600000, false, nullptr, now);
+    l1->tick(now);
+    for (int i = 0; i < 60; ++i)
+        tickAll(false);
+    const TraceOp fast = makeOp(0x1, 1, 64, 0x600000);
+    ASSERT_TRUE(rt->tryDispatch(0, 0, wt, fast,
+                                [&] { order.push_back(2); }, now));
+    for (int i = 0; i < 300 && order.size() < 2; ++i)
+        tickAll();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST_F(RtFixture, DifferentWarpsMayCompleteOutOfOrder)
+{
+    build();
+    std::vector<int> order;
+    const TraceOp slow = makeOp(kFullMask, 4, 64, 0x700000);
+    ASSERT_TRUE(rt->tryDispatch(0, 0, wt, slow,
+                                [&] { order.push_back(1); }, now));
+    ++now;
+    const TraceOp fast = makeOp(0x1, 1, 64, 0x700000);
+    ASSERT_TRUE(rt->tryDispatch(1, 1, wt, fast,
+                                [&] { order.push_back(2); }, now));
+    for (int i = 0; i < 500 && order.size() < 2; ++i)
+        tickAll();
+    ASSERT_EQ(order.size(), 2u);
+    // The single-lane fast op of warp 1 overtakes warp 0's big one.
+    EXPECT_EQ(order[0], 2);
+}
+
+TEST_F(RtFixture, NoPortNoProgressOnGather)
+{
+    build();
+    int done = 0;
+    const TraceOp op = makeOp(0x1, 1, 64, 0x800000);
+    ASSERT_TRUE(rt->tryDispatch(0, 0, wt, op, [&] { ++done; }, now));
+    for (int i = 0; i < 100; ++i)
+        tickAll(false); // never grant the L1 port
+    EXPECT_EQ(done, 0);
+    EXPECT_TRUE(rt->wantsAccess());
+    for (int i = 0; i < 200 && done == 0; ++i)
+        tickAll(true);
+    EXPECT_EQ(done, 1);
+}
+
+} // namespace
+} // namespace hsu

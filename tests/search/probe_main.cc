@@ -1,0 +1,27 @@
+#include <cstdio>
+#include "search/ggnn.hh"
+#include "workloads/datasets.hh"
+#include "../tests/test_util.hh"
+using namespace hsu;
+int main(){
+    auto info = datasetInfo(DatasetId::Sift10k);
+    auto pts = generatePoints(info);
+    for (unsigned efc : {32u, 48u, 64u}) {
+        HnswParams hp; hp.efConstruction = efc;
+        auto g = HnswGraph::build(pts, info.metric, hp);
+        for (unsigned ef : {32u, 48u, 64u, 96u}) {
+            auto queries = generateQueries(info, 24);
+            GgnnConfig gc; gc.ef = ef;
+            GgnnKernel kern(g, gc);
+            auto run = kern.run(queries, KernelVariant::Hsu);
+            double recall = 0;
+            for (size_t q = 0; q < queries.size(); ++q) {
+                auto want = test::bruteKnn(pts, queries[q], 10);
+                size_t hits=0;
+                for (auto&w : want) for (auto&got : run.results[q]) if (got.index==w.index){hits++;break;}
+                recall += hits/10.0;
+            }
+            printf("efc=%u ef=%u recall=%.3f dist_tests/query=%.0f\n", efc, ef, recall/queries.size(), (double)run.distanceTests/queries.size());
+        }
+    }
+}

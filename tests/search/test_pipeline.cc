@@ -1,0 +1,193 @@
+/**
+ * @file
+ * RayPipeline (Fig 3 programming model) tests: RG/IS/AH/CH/miss hooks,
+ * closest-hit correctness against brute force, and early termination.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "search/pipeline.hh"
+
+namespace hsu
+{
+namespace
+{
+
+struct Scene
+{
+    std::vector<Triangle> tris;
+    Lbvh binary;
+    Bvh4 bvh;
+
+    explicit Scene(std::uint64_t seed, unsigned n = 120)
+    {
+        Rng rng(seed);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const Vec3 base{rng.uniform(-4, 4), rng.uniform(-4, 4),
+                            rng.uniform(2, 10)};
+            tris.push_back({base, base + Vec3{0.7f, 0, 0.1f},
+                            base + Vec3{0, 0.7f, 0.1f}, i});
+        }
+        binary = Lbvh::buildFromTriangles(tris);
+        bvh = Bvh4::fromBinary(binary);
+    }
+};
+
+TriHit
+bruteClosest(const Ray &ray, const std::vector<Triangle> &tris)
+{
+    const PreparedRay pr(ray);
+    TriHit best;
+    float best_t = ray.tmax;
+    for (const auto &tri : tris) {
+        const TriHit h = rayTriangleTest(pr, tri);
+        if (h.hit && h.t() < best_t) {
+            best = h;
+            best_t = h.t();
+        }
+    }
+    return best;
+}
+
+TEST(RayPipeline, ClosestHitMatchesBruteForce)
+{
+    const Scene scene(71);
+    RayPipeline pipe(scene.bvh, scene.tris);
+    Rng rng(72);
+    for (int i = 0; i < 200; ++i) {
+        Ray ray;
+        ray.origin = {rng.uniform(-2, 2), rng.uniform(-2, 2), -1};
+        ray.dir = normalize(Vec3{rng.uniform(-0.4f, 0.4f),
+                                 rng.uniform(-0.4f, 0.4f), 1});
+        const TriHit got = pipe.traceRay(ray);
+        const TriHit want = bruteClosest(ray, scene.tris);
+        ASSERT_EQ(got.hit, want.hit) << "ray " << i;
+        if (got.hit) {
+            EXPECT_EQ(got.triId, want.triId);
+            EXPECT_NEAR(got.t(), want.t(), 1e-3f);
+        }
+    }
+}
+
+TEST(RayPipeline, ProgramsFireInOrder)
+{
+    const Scene scene(73);
+    unsigned ch = 0, miss = 0, ah = 0;
+    RayPipeline pipe(scene.bvh, scene.tris);
+    pipe.onRayGen([](unsigned i) {
+            Ray r;
+            r.origin = {static_cast<float>(i % 8) - 4.0f,
+                        static_cast<float>(i / 8) - 4.0f, -1};
+            r.dir = {0, 0, 1};
+            return r;
+        })
+        .onAnyHit([&](unsigned, const TriHit &) {
+            ++ah;
+            return AnyHitDecision::Accept;
+        })
+        .onClosestHit([&](unsigned, const TriHit &h) {
+            ++ch;
+            EXPECT_TRUE(h.hit);
+        })
+        .onMiss([&](unsigned) { ++miss; });
+
+    const PipelineStats stats = pipe.trace(64);
+    EXPECT_EQ(stats.rays, 64u);
+    EXPECT_EQ(stats.hits, ch);
+    EXPECT_EQ(stats.misses, miss);
+    EXPECT_EQ(ch + miss, 64u);
+    EXPECT_GE(ah, ch);
+    EXPECT_GT(stats.boxNodesVisited, 0u);
+}
+
+TEST(RayPipeline, AnyHitIgnoreFiltersPrimitives)
+{
+    const Scene scene(74);
+    RayPipeline pipe(scene.bvh, scene.tris);
+    // Ignore every even triangle id: the closest hit must be odd.
+    pipe.onAnyHit([](unsigned, const TriHit &h) {
+        return h.triId % 2 == 0 ? AnyHitDecision::Ignore
+                                : AnyHitDecision::Accept;
+    });
+    Rng rng(75);
+    for (int i = 0; i < 100; ++i) {
+        Ray ray;
+        ray.origin = {rng.uniform(-2, 2), rng.uniform(-2, 2), -1};
+        ray.dir = {0, 0, 1};
+        const TriHit h = pipe.traceRay(ray);
+        if (h.hit) {
+            EXPECT_EQ(h.triId % 2, 1u);
+        }
+    }
+}
+
+TEST(RayPipeline, TerminateActsLikeShadowRay)
+{
+    const Scene scene(76);
+    unsigned tests_terminate = 0, tests_full = 0;
+    RayPipeline pipe(scene.bvh, scene.tris);
+    Ray ray;
+    ray.origin = {0, 0, -1};
+    ray.dir = {0, 0, 1};
+
+    PipelineStats s1;
+    pipe.onAnyHit([](unsigned, const TriHit &) {
+        return AnyHitDecision::Terminate;
+    });
+    pipe.traceRay(ray, 0, &s1);
+    tests_terminate = static_cast<unsigned>(s1.primitiveTests);
+
+    PipelineStats s2;
+    pipe.onAnyHit(nullptr);
+    pipe.traceRay(ray, 0, &s2);
+    tests_full = static_cast<unsigned>(s2.primitiveTests);
+    EXPECT_LE(tests_terminate, tests_full);
+}
+
+TEST(RayPipeline, CustomIntersectionProgram)
+{
+    // Sphere primitives via the IS program: triangles only provide
+    // the BVH footprint; hits come from ray-sphere math.
+    const Scene scene(77);
+    RayPipeline pipe(scene.bvh, scene.tris);
+    pipe.onIntersection([&](const PreparedRay &pr, std::uint32_t prim) {
+        // Sphere centered at the triangle's v0 with radius 0.4.
+        const Vec3 c = scene.tris[prim].v0;
+        const float radius = 0.4f;
+        TriHit h;
+        h.triId = prim;
+        const Vec3 oc = pr.ray.origin - c;
+        const float b = dot(oc, pr.ray.dir);
+        const float disc = b * b - (length2(oc) - radius * radius);
+        if (disc < 0)
+            return h;
+        const float t = -b - std::sqrt(disc);
+        if (t < pr.ray.tmin || t > pr.ray.tmax)
+            return h;
+        h.hit = true;
+        h.tNum = t;
+        h.tDenom = 1.0f;
+        return h;
+    });
+    Ray ray;
+    ray.origin = {0, 0, -5};
+    ray.dir = {0, 0, 1};
+    const TriHit h = pipe.traceRay(ray);
+    if (h.hit) {
+        // Hit distance must place the point on the sphere's surface.
+        const Vec3 p = ray.at(h.t());
+        const Vec3 c = scene.tris[h.triId].v0;
+        EXPECT_NEAR(length(p - c), 0.4f, 1e-3f);
+    }
+}
+
+TEST(RayPipeline, TraceWithoutRayGenPanics)
+{
+    const Scene scene(78);
+    RayPipeline pipe(scene.bvh, scene.tris);
+    EXPECT_DEATH(pipe.trace(1), "ray-generation");
+}
+
+} // namespace
+} // namespace hsu

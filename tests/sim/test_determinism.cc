@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Simulator determinism and conservation properties: identical runs
+ * produce identical cycle counts and counters; memory-system counters
+ * balance; scheduler policies behave as configured.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/gpu.hh"
+
+namespace hsu
+{
+namespace
+{
+
+KernelTrace
+mixedTrace(unsigned warps, std::uint64_t seed)
+{
+    Rng rng(seed);
+    KernelTrace kt;
+    for (unsigned w = 0; w < warps; ++w) {
+        kt.warps.emplace_back();
+        TraceBuilder tb(kt.warps.back());
+        for (int i = 0; i < 30; ++i) {
+            const auto roll = rng.nextBounded(4);
+            if (roll == 0) {
+                tb.alu(1 + static_cast<unsigned>(rng.nextBounded(8)));
+            } else if (roll == 1) {
+                tb.shared(1 + static_cast<unsigned>(rng.nextBounded(4)));
+            } else if (roll == 2) {
+                const auto tok = tb.loadPattern(
+                    0x100000 + rng.nextBounded(1 << 20) * 64, 4, 4);
+                tb.alu(2, kFullMask, TraceBuilder::tokenMask(tok));
+            } else {
+                std::uint64_t addrs[kWarpSize];
+                for (unsigned l = 0; l < kWarpSize; ++l) {
+                    addrs[l] =
+                        0x800000 + rng.nextBounded(1 << 18) * 128;
+                }
+                const auto tok =
+                    tb.hsuOp(HsuOpcode::PointEuclid, HsuMode::Euclid,
+                             addrs, 64,
+                             1 + static_cast<unsigned>(
+                                 rng.nextBounded(4)),
+                             0xffffu);
+                tb.alu(1, kFullMask, TraceBuilder::tokenMask(tok));
+            }
+        }
+    }
+    return kt;
+}
+
+TEST(Determinism, IdenticalRunsIdenticalCounters)
+{
+    const KernelTrace trace = mixedTrace(40, 17);
+    GpuConfig cfg;
+    cfg.numSms = 2;
+    cfg.finalize();
+
+    StatGroup s1, s2;
+    const RunResult r1 = simulateKernel(cfg, trace, s1);
+    const RunResult r2 = simulateKernel(cfg, trace, s2);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    const auto d1 = s1.dump();
+    const auto d2 = s2.dump();
+    ASSERT_EQ(d1.size(), d2.size());
+    for (std::size_t i = 0; i < d1.size(); ++i) {
+        EXPECT_EQ(d1[i].first, d2[i].first);
+        EXPECT_EQ(d1[i].second, d2[i].second) << d1[i].first;
+    }
+}
+
+TEST(Determinism, MemoryCountersBalance)
+{
+    const KernelTrace trace = mixedTrace(30, 23);
+    GpuConfig cfg;
+    cfg.numSms = 2;
+    cfg.finalize();
+    StatGroup stats;
+    simulateKernel(cfg, trace, stats);
+
+    // Every L1 access is a hit, a reserved hit, or a miss.
+    for (unsigned i = 0; i < cfg.numSms; ++i) {
+        const std::string p = "l1d." + std::to_string(i);
+        EXPECT_DOUBLE_EQ(stats.get(p + ".accesses"),
+                         stats.get(p + ".hits") +
+                             stats.get(p + ".hit_reserved") +
+                             stats.get(p + ".misses") +
+                             stats.get(p + ".writes"));
+    }
+    // Same at the L2.
+    EXPECT_DOUBLE_EQ(stats.get("l2.accesses"),
+                     stats.get("l2.hits") +
+                         stats.get("l2.hit_reserved") +
+                         stats.get("l2.misses") +
+                         stats.get("l2.writes"));
+    // DRAM row accounting: every access is a hit or an activation.
+    EXPECT_DOUBLE_EQ(stats.get("dram.accesses"),
+                     stats.get("dram.row_hits") +
+                         stats.get("dram.activations"));
+    // Attribution covers every sub-core cycle.
+    EXPECT_DOUBLE_EQ(stats.get("sm.slot_cycles"),
+                     stats.get("sm.busy_cycles") +
+                         stats.get("sm.stall_cycles") +
+                         stats.get("sm.idle_cycles"));
+}
+
+TEST(Determinism, SmCountScalesThroughput)
+{
+    const KernelTrace trace = mixedTrace(64, 29);
+    GpuConfig one;
+    one.numSms = 1;
+    one.finalize();
+    GpuConfig four;
+    four.numSms = 4;
+    four.finalize();
+    StatGroup s1, s4;
+    const RunResult r1 = simulateKernel(one, trace, s1);
+    const RunResult r4 = simulateKernel(four, trace, s4);
+    EXPECT_LT(r4.cycles, r1.cycles);
+    // Same total work either way.
+    EXPECT_EQ(s1.get("sm.warps_retired"), 64.0);
+    EXPECT_EQ(s4.get("sm.warps_retired"), 64.0);
+    EXPECT_DOUBLE_EQ(s1.get("sm.instrs_issued"),
+                     s4.get("sm.instrs_issued"));
+}
+
+TEST(Determinism, SchedulerPoliciesBothComplete)
+{
+    const KernelTrace trace = mixedTrace(32, 31);
+    for (const auto policy :
+         {SchedulerPolicy::Gto, SchedulerPolicy::RoundRobin}) {
+        GpuConfig cfg;
+        cfg.numSms = 1;
+        cfg.scheduler = policy;
+        cfg.finalize();
+        StatGroup stats;
+        const RunResult r = simulateKernel(cfg, trace, stats);
+        EXPECT_GT(r.cycles, 0u);
+        EXPECT_EQ(stats.get("sm.warps_retired"), 32.0);
+    }
+}
+
+TEST(Determinism, WarpBufferMonotoneAtSmallSizes)
+{
+    // More warp-buffer entries never hurt this latency-bound trace.
+    const KernelTrace trace = mixedTrace(48, 37);
+    std::uint64_t prev = ~0ull;
+    for (const unsigned wb : {1u, 2u, 4u, 8u}) {
+        GpuConfig cfg;
+        cfg.numSms = 1;
+        cfg.warpBufferSize = wb;
+        cfg.finalize();
+        StatGroup stats;
+        const RunResult r = simulateKernel(cfg, trace, stats);
+        EXPECT_LE(r.cycles, prev) << "wb=" << wb;
+        prev = r.cycles;
+    }
+}
+
+} // namespace
+} // namespace hsu

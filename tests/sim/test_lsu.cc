@@ -1,0 +1,149 @@
+/**
+ * @file
+ * LSU tests: intra-warp coalescing and group completion semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "sim/lsu.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(Coalesce, PatternLoadOneLine)
+{
+    WarpTrace wt;
+    TraceBuilder tb(wt);
+    tb.loadPattern(0x1000, 4, 4); // 32 lanes x 4B = 128B
+    const auto lines = coalesceLines(wt, wt.ops[0], 128);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], 0x1000u / 128);
+}
+
+TEST(Coalesce, StridedLoadManyLines)
+{
+    WarpTrace wt;
+    TraceBuilder tb(wt);
+    tb.loadPattern(0x1000, 128, 4); // one line per lane
+    EXPECT_EQ(coalesceLines(wt, wt.ops[0], 128).size(), 32u);
+}
+
+TEST(Coalesce, InactiveLanesSkipped)
+{
+    WarpTrace wt;
+    TraceBuilder tb(wt);
+    tb.loadPattern(0x1000, 128, 4, 0x0000000f); // 4 lanes
+    EXPECT_EQ(coalesceLines(wt, wt.ops[0], 128).size(), 4u);
+}
+
+TEST(Coalesce, StraddlingAccessTouchesBothLines)
+{
+    WarpTrace wt;
+    TraceBuilder tb(wt);
+    // One lane, 8 bytes starting 4 bytes before a line boundary.
+    std::uint64_t addrs[kWarpSize] = {};
+    addrs[0] = 128 - 4;
+    tb.loadGather(addrs, 8, 0x1);
+    const auto lines = coalesceLines(wt, wt.ops[0], 128);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 0u);
+    EXPECT_EQ(lines[1], 1u);
+}
+
+TEST(Coalesce, DuplicateAddressesDeduplicated)
+{
+    WarpTrace wt;
+    TraceBuilder tb(wt);
+    std::uint64_t addrs[kWarpSize];
+    for (unsigned l = 0; l < kWarpSize; ++l)
+        addrs[l] = 0x2000; // all lanes same address
+    tb.loadGather(addrs, 4, kFullMask);
+    EXPECT_EQ(coalesceLines(wt, wt.ops[0], 128).size(), 1u);
+}
+
+struct LsuFixture : public ::testing::Test
+{
+    StatGroup stats;
+    CacheParams cp{.name = "l1", .sizeBytes = 8192, .assoc = 4,
+                   .lineBytes = 128, .hitLatency = 3, .mshrEntries = 8,
+                   .mshrMergesPerEntry = 4, .missQueueCapacity = 8};
+    Cache l1{cp, stats};
+    Lsu lsu{8, l1, stats, "lsu"};
+    std::uint64_t now = 0;
+
+    LsuFixture()
+    {
+        l1.setSendLower([this](std::uint64_t line, bool write,
+                               std::uint64_t t) {
+            if (!write)
+                fills.emplace_back(t + 15, line);
+            return true;
+        });
+    }
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> fills;
+
+    void
+    tickAll(bool grant = true)
+    {
+        for (auto it = fills.begin(); it != fills.end();) {
+            if (it->first <= now) {
+                l1.fill(it->second, now);
+                it = fills.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        l1.tick(now);
+        lsu.tick(grant, now);
+        ++now;
+    }
+};
+
+TEST_F(LsuFixture, GroupCompletesWhenAllLinesReturn)
+{
+    int done = 0;
+    ASSERT_TRUE(lsu.issue({10, 11, 12}, false, [&] { ++done; }));
+    for (int i = 0; i < 100 && done == 0; ++i)
+        tickAll();
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(stats.get("lsu.line_reqs"), 3.0);
+    EXPECT_EQ(stats.get("lsu.mem_instrs"), 1.0);
+}
+
+TEST_F(LsuFixture, QueueCapacityRefusesOversizedIssue)
+{
+    std::vector<std::uint64_t> many;
+    for (std::uint64_t i = 0; i < 9; ++i)
+        many.push_back(100 + i);
+    EXPECT_FALSE(lsu.issue(many, false, nullptr)); // queue cap 8
+    std::vector<std::uint64_t> fits(many.begin(), many.begin() + 8);
+    EXPECT_TRUE(lsu.issue(fits, false, nullptr));
+    EXPECT_FALSE(lsu.issue({500}, false, nullptr)); // now full
+}
+
+TEST_F(LsuFixture, NoPortNoDrain)
+{
+    ASSERT_TRUE(lsu.issue({42}, false, nullptr));
+    for (int i = 0; i < 20; ++i)
+        tickAll(false);
+    EXPECT_TRUE(lsu.wantsAccess());
+    for (int i = 0; i < 100 && lsu.wantsAccess(); ++i)
+        tickAll(true);
+    EXPECT_FALSE(lsu.wantsAccess());
+}
+
+TEST_F(LsuFixture, WritesFireAndForget)
+{
+    int done = 0;
+    ASSERT_TRUE(lsu.issue({7}, true, [&] { ++done; }));
+    for (int i = 0; i < 50 && done == 0; ++i)
+        tickAll();
+    EXPECT_EQ(done, 1);
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Trace builder tests: op encoding, address pools, token rotation, and
+ * mask helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "sim/trace.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(TraceBuilder, AluBlocksCoalesceCounts)
+{
+    WarpTrace wt;
+    TraceBuilder tb(wt);
+    tb.alu(17);
+    tb.alu(0); // dropped
+    tb.shared(3);
+    ASSERT_EQ(wt.ops.size(), 2u);
+    EXPECT_EQ(wt.ops[0].type, OpType::Alu);
+    EXPECT_EQ(wt.ops[0].count, 17u);
+    EXPECT_EQ(wt.ops[1].type, OpType::Shared);
+    EXPECT_EQ(wt.ops[1].count, 3u);
+}
+
+TEST(TraceBuilder, PatternAddressing)
+{
+    WarpTrace wt;
+    TraceBuilder tb(wt);
+    tb.loadPattern(0x1000, 8, 4);
+    const TraceOp &op = wt.ops[0];
+    EXPECT_EQ(wt.laneAddr(op, 0), 0x1000u);
+    EXPECT_EQ(wt.laneAddr(op, 5), 0x1000u + 40);
+    EXPECT_EQ(wt.laneAddr(op, 31), 0x1000u + 248);
+}
+
+TEST(TraceBuilder, GatherPoolAddressing)
+{
+    WarpTrace wt;
+    TraceBuilder tb(wt);
+    std::uint64_t addrs[kWarpSize];
+    for (unsigned l = 0; l < kWarpSize; ++l)
+        addrs[l] = 1000 + l * l;
+    tb.loadGather(addrs, 4, kFullMask);
+    const TraceOp &op = wt.ops[0];
+    for (unsigned l = 0; l < kWarpSize; ++l)
+        EXPECT_EQ(wt.laneAddr(op, l), 1000 + l * l);
+}
+
+TEST(TraceBuilder, TokensRotateAndDiffer)
+{
+    WarpTrace wt;
+    TraceBuilder tb(wt);
+    std::set<std::uint8_t> toks;
+    for (int i = 0; i < 16; ++i)
+        toks.insert(tb.loadPattern(0x1000 + i * 256, 4, 4));
+    EXPECT_EQ(toks.size(), 16u); // all distinct within the window
+    // The 17th reuses an id (the rotor wraps).
+    const auto again = tb.loadPattern(0x9000, 4, 4);
+    EXPECT_TRUE(toks.count(again));
+}
+
+TEST(TraceBuilder, TokenMaskHelper)
+{
+    EXPECT_EQ(TraceBuilder::tokenMask(kNoToken), 0u);
+    EXPECT_EQ(TraceBuilder::tokenMask(0), 1u);
+    EXPECT_EQ(TraceBuilder::tokenMask(5), 32u);
+}
+
+TEST(TraceBuilder, HsuOpEncoding)
+{
+    WarpTrace wt;
+    TraceBuilder tb(wt);
+    std::uint64_t addrs[kWarpSize] = {};
+    const auto tok = tb.hsuOp(HsuOpcode::PointAngular, HsuMode::Angular,
+                              addrs, 32, 9, 0xff, 0x3);
+    const TraceOp &op = wt.ops[0];
+    EXPECT_EQ(op.type, OpType::HsuOp);
+    EXPECT_EQ(op.hsuOp, HsuOpcode::PointAngular);
+    EXPECT_EQ(op.hsuMode, HsuMode::Angular);
+    EXPECT_EQ(op.count, 9u);
+    EXPECT_EQ(op.bytesPerLane, 32u);
+    EXPECT_EQ(op.activeMask, 0xffu);
+    EXPECT_EQ(op.consumesMask, 0x3u);
+    EXPECT_NE(tok, kNoToken);
+    EXPECT_TRUE(test::traceWellFormed(wt));
+}
+
+TEST(TraceBuilder, KernelTraceTotals)
+{
+    KernelTrace kt;
+    for (int w = 0; w < 3; ++w) {
+        kt.warps.emplace_back();
+        TraceBuilder tb(kt.warps.back());
+        tb.alu(1);
+        tb.loadPattern(0, 4, 4);
+    }
+    EXPECT_EQ(kt.totalOps(), 6u);
+    EXPECT_EQ(test::countOps(kt, OpType::Load), 3u);
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Trace-statistics tests: instruction mix accounting and footprint.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace_stats.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(TraceStats, EmptyTrace)
+{
+    const TraceStats s = analyzeTrace(KernelTrace{});
+    EXPECT_EQ(s.warps, 0u);
+    EXPECT_EQ(s.instructions, 0u);
+    EXPECT_EQ(s.offloadableFraction(), 0.0);
+}
+
+TEST(TraceStats, CountsEveryClass)
+{
+    KernelTrace kt;
+    kt.warps.emplace_back();
+    TraceBuilder tb(kt.warps.back());
+    tb.alu(10, kFullMask, 0, true); // offloadable
+    tb.shared(5);
+    tb.loadPattern(0x1000, 4, 4);
+    tb.storePattern(0x2000, 4, 4);
+    std::uint64_t addrs[kWarpSize] = {};
+    tb.hsuOp(HsuOpcode::PointEuclid, HsuMode::Euclid, addrs, 64, 8,
+             0x0000ffff);
+
+    const TraceStats s = analyzeTrace(kt);
+    EXPECT_EQ(s.warps, 1u);
+    EXPECT_EQ(s.ops, 5u);
+    EXPECT_EQ(s.aluInstructions, 10u);
+    EXPECT_EQ(s.sharedInstructions, 5u);
+    EXPECT_EQ(s.loadInstructions, 1u);
+    EXPECT_EQ(s.storeInstructions, 1u);
+    EXPECT_EQ(s.hsuInstructions, 8u);
+    EXPECT_EQ(s.hsuByMode[static_cast<unsigned>(HsuMode::Euclid)], 8u);
+    EXPECT_EQ(s.instructions, 10u + 5 + 1 + 1 + 8);
+    EXPECT_EQ(s.offloadableInstructions, 10u);
+    // Bytes: 32x4 (load) + 32x4 (store) + 16 lanes x 64B x 8 beats.
+    EXPECT_EQ(s.globalBytes, 128u + 128 + 16 * 64 * 8);
+    // Active lanes over the 3 memory/HSU ops: (32 + 32 + 16) / 3.
+    EXPECT_NEAR(s.avgActiveLanes, 80.0 / 3.0, 1e-9);
+}
+
+TEST(TraceStats, PrintsAllRows)
+{
+    KernelTrace kt;
+    kt.warps.emplace_back();
+    TraceBuilder tb(kt.warps.back());
+    std::uint64_t addrs[kWarpSize] = {};
+    tb.hsuOp(HsuOpcode::KeyCompare, HsuMode::KeyCompare, addrs, 144, 1,
+             0x1);
+    std::ostringstream os;
+    printTraceStats(os, analyzeTrace(kt), "unit-test");
+    const std::string out = os.str();
+    EXPECT_NE(out.find("key-compare"), std::string::npos);
+    EXPECT_NE(out.find("dynamic instructions"), std::string::npos);
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * B+tree mutation tests: insert with splits, erase, range queries —
+ * cross-checked against std::map through randomized operation streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "structures/btree.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(BtreeInsert, GrowsFromEmpty)
+{
+    BTree tree = BTree::build({}, 8);
+    for (std::uint32_t k = 0; k < 500; ++k)
+        tree.insert(k * 3, k);
+    EXPECT_TRUE(tree.validate());
+    EXPECT_EQ(tree.size(), 500u);
+    for (std::uint32_t k = 0; k < 500; ++k) {
+        ASSERT_TRUE(tree.lookup(k * 3).has_value());
+        EXPECT_EQ(*tree.lookup(k * 3), k);
+        EXPECT_FALSE(tree.lookup(k * 3 + 1).has_value());
+    }
+    EXPECT_GT(tree.height(), 1u); // splits happened
+}
+
+TEST(BtreeInsert, OverwriteKeepsSize)
+{
+    BTree tree = BTree::build({}, 16);
+    tree.insert(42, 1);
+    tree.insert(42, 2);
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_EQ(*tree.lookup(42), 2u);
+}
+
+class BtreeChurn : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BtreeChurn, RandomOpsMatchStdMap)
+{
+    const unsigned order = GetParam();
+    BTree tree = BTree::build({}, order);
+    std::map<std::uint32_t, std::uint32_t> ref;
+    Rng rng(order * 31 + 5);
+
+    for (int op = 0; op < 4000; ++op) {
+        const auto key =
+            static_cast<std::uint32_t>(rng.nextBounded(2000));
+        const auto roll = rng.nextBounded(10);
+        if (roll < 6) {
+            const auto val = static_cast<std::uint32_t>(op);
+            tree.insert(key, val);
+            ref[key] = val;
+        } else if (roll < 8) {
+            EXPECT_EQ(tree.erase(key), ref.erase(key) == 1) << op;
+        } else {
+            const auto got = tree.lookup(key);
+            const auto it = ref.find(key);
+            ASSERT_EQ(got.has_value(), it != ref.end()) << op;
+            if (got) {
+                EXPECT_EQ(*got, it->second);
+            }
+        }
+    }
+    EXPECT_EQ(tree.size(), ref.size());
+    // Full sweep at the end.
+    for (const auto &[k, v] : ref)
+        EXPECT_EQ(tree.lookup(k).value(), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BtreeChurn,
+                         ::testing::Values(3u, 4u, 8u, 32u, 256u));
+
+TEST(BtreeRange, MatchesStdMapRange)
+{
+    BTree tree = BTree::build({}, 16);
+    std::map<std::uint32_t, std::uint32_t> ref;
+    Rng rng(9);
+    for (int i = 0; i < 3000; ++i) {
+        const auto k =
+            static_cast<std::uint32_t>(rng.nextBounded(100000));
+        tree.insert(k, static_cast<std::uint32_t>(i));
+        ref[k] = static_cast<std::uint32_t>(i);
+    }
+    for (int t = 0; t < 50; ++t) {
+        auto lo = static_cast<std::uint32_t>(rng.nextBounded(100000));
+        auto hi = static_cast<std::uint32_t>(rng.nextBounded(100000));
+        if (lo > hi)
+            std::swap(lo, hi);
+        const auto got = tree.range(lo, hi);
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> want(
+            ref.lower_bound(lo), ref.upper_bound(hi));
+        EXPECT_EQ(got, want) << "range [" << lo << ", " << hi << "]";
+    }
+}
+
+TEST(BtreeRange, EmptyAndInverted)
+{
+    BTree tree = BTree::build({}, 8);
+    tree.insert(10, 1);
+    EXPECT_TRUE(tree.range(20, 30).empty());
+    EXPECT_TRUE(tree.range(30, 20).empty());
+    ASSERT_EQ(tree.range(5, 15).size(), 1u);
+    EXPECT_EQ(tree.range(10, 10).front().second, 1u);
+}
+
+TEST(BtreeInsert, IntoBulkLoadedTree)
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    for (std::uint32_t i = 0; i < 10000; ++i)
+        pairs.emplace_back(i * 2, i);
+    BTree tree = BTree::build(pairs, 64);
+    // Insert the odd keys.
+    for (std::uint32_t i = 0; i < 2000; ++i)
+        tree.insert(i * 2 + 1, 100000 + i);
+    EXPECT_TRUE(tree.validate());
+    EXPECT_EQ(tree.size(), 12000u);
+    EXPECT_EQ(*tree.lookup(1001), 100500u);
+    EXPECT_EQ(*tree.lookup(1000), 500u);
+}
+
+} // namespace
+} // namespace hsu

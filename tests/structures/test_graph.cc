@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Hierarchical graph (GGNN/HNSW-style) tests: structural invariants,
+ * recall against brute force, determinism, and both metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "structures/graph.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(HnswGraph, ValidatesOnRandomData)
+{
+    const PointSet pts = test::randomCloud(500, 8, 31);
+    const HnswGraph g = HnswGraph::build(pts, Metric::Euclidean);
+    EXPECT_TRUE(g.validate());
+    EXPECT_GE(g.numLayers(), 1u);
+    EXPECT_EQ(g.layerNodes(0).size(), 500u);
+}
+
+TEST(HnswGraph, EmptyAndTiny)
+{
+    const PointSet empty(4);
+    const HnswGraph g0 = HnswGraph::build(empty, Metric::Euclidean);
+    EXPECT_TRUE(g0.knn(nullptr, 3).empty());
+
+    PointSet one(2);
+    const float p[2] = {1, 2};
+    one.add(p);
+    const HnswGraph g1 = HnswGraph::build(one, Metric::Euclidean);
+    const float q[2] = {0, 0};
+    const auto r = g1.knn(q, 3);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0].index, 0u);
+}
+
+TEST(HnswGraph, RecallAtTenEuclidean)
+{
+    const PointSet pts = test::randomCloud(2000, 16, 91);
+    const HnswGraph g = HnswGraph::build(pts, Metric::Euclidean);
+    const PointSet queries = test::randomCloud(40, 16, 92);
+
+    double recall = 0;
+    const unsigned k = 10;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto got = g.knn(queries[q], k, {64});
+        const auto want = test::bruteKnn(pts, queries[q], k);
+        std::size_t hits = 0;
+        for (const auto &w : want) {
+            for (const auto &got_n : got) {
+                if (got_n.index == w.index) {
+                    ++hits;
+                    break;
+                }
+            }
+        }
+        recall += static_cast<double>(hits) / k;
+    }
+    recall /= static_cast<double>(queries.size());
+    EXPECT_GE(recall, 0.85) << "ANN recall collapsed";
+}
+
+TEST(HnswGraph, RecallAtTenAngular)
+{
+    const PointSet pts = test::randomCloud(1500, 12, 93);
+    const HnswGraph g = HnswGraph::build(pts, Metric::Angular);
+    const PointSet queries = test::randomCloud(30, 12, 94);
+
+    double recall = 0;
+    const unsigned k = 10;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto got = g.knn(queries[q], k, {64});
+        // Brute force under the angular metric.
+        std::vector<Neighbor> all;
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            all.push_back({static_cast<std::uint32_t>(i),
+                           metricDist(Metric::Angular, queries[q],
+                                      pts[i], 12)});
+        }
+        std::sort(all.begin(), all.end());
+        std::size_t hits = 0;
+        for (unsigned w = 0; w < k; ++w) {
+            for (const auto &got_n : got) {
+                if (got_n.index == all[w].index) {
+                    ++hits;
+                    break;
+                }
+            }
+        }
+        recall += static_cast<double>(hits) / k;
+    }
+    recall /= static_cast<double>(queries.size());
+    EXPECT_GE(recall, 0.8);
+}
+
+TEST(HnswGraph, DeterministicBuild)
+{
+    const PointSet pts = test::randomCloud(300, 6, 95);
+    const HnswGraph a = HnswGraph::build(pts, Metric::Euclidean);
+    const HnswGraph b = HnswGraph::build(pts, Metric::Euclidean);
+    ASSERT_EQ(a.numLayers(), b.numLayers());
+    for (unsigned l = 0; l < a.numLayers(); ++l) {
+        for (std::uint32_t n = 0; n < pts.size(); ++n) {
+            for (unsigned j = 0; j < a.layerDegree(l); ++j) {
+                EXPECT_EQ(a.neighbors(l, n)[j], b.neighbors(l, n)[j]);
+            }
+        }
+    }
+}
+
+TEST(HnswGraph, MetricDistReference)
+{
+    const float a[3] = {1, 0, 0};
+    const float b[3] = {0, 1, 0};
+    EXPECT_FLOAT_EQ(metricDist(Metric::Euclidean, a, b, 3), 2.0f);
+    EXPECT_FLOAT_EQ(metricDist(Metric::Angular, a, b, 3), 1.0f);
+    EXPECT_FLOAT_EQ(metricDist(Metric::Angular, a, a, 3), 0.0f);
+}
+
+TEST(HnswGraph, UpperLayersAreSparser)
+{
+    const PointSet pts = test::randomCloud(2000, 4, 96);
+    const HnswGraph g = HnswGraph::build(pts, Metric::Euclidean);
+    for (unsigned l = 1; l < g.numLayers(); ++l)
+        EXPECT_LT(g.layerNodes(l).size(), g.layerNodes(l - 1).size());
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * k-d tree tests: exact kNN equals brute force across dimensions,
+ * sizes, and leaf sizes; structural validation; approximation budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "structures/kdtree.hh"
+
+namespace hsu
+{
+namespace
+{
+
+struct KdCase
+{
+    std::size_t n;
+    unsigned dim;
+    unsigned leafSize;
+};
+
+class KdTreeSweep : public ::testing::TestWithParam<KdCase>
+{
+};
+
+TEST_P(KdTreeSweep, ExactKnnMatchesBruteForce)
+{
+    const auto [n, dim, leaf] = GetParam();
+    const PointSet pts = test::randomCloud(n, dim, n * dim + leaf);
+    const KdTree tree = KdTree::build(pts, leaf);
+    EXPECT_TRUE(tree.validate());
+
+    const PointSet queries = test::randomCloud(20, dim, 777);
+    const unsigned k = std::min<std::size_t>(5, n);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto got = tree.knn(queries[q], k);
+        const auto want = test::bruteKnn(pts, queries[q], k);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_FLOAT_EQ(got[i].dist2, want[i].dist2)
+                << "q=" << q << " i=" << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KdTreeSweep,
+    ::testing::Values(KdCase{1, 3, 8}, KdCase{10, 3, 2},
+                      KdCase{100, 3, 8}, KdCase{500, 3, 16},
+                      KdCase{100, 2, 4}, KdCase{200, 8, 8},
+                      KdCase{150, 16, 8}, KdCase{64, 1, 4},
+                      KdCase{333, 5, 32}));
+
+TEST(KdTree, EmptyTree)
+{
+    const PointSet pts(3);
+    const KdTree tree = KdTree::build(pts);
+    EXPECT_TRUE(tree.validate());
+    EXPECT_TRUE(tree.knn(nullptr, 0).empty());
+}
+
+TEST(KdTree, KLargerThanN)
+{
+    const PointSet pts = test::randomCloud(4, 3, 3);
+    const KdTree tree = KdTree::build(pts, 2);
+    const float q[3] = {0, 0, 0};
+    const auto got = tree.knn(q, 10);
+    EXPECT_EQ(got.size(), 4u);
+}
+
+TEST(KdTree, ApproximateBudgetDegradesGracefully)
+{
+    const PointSet pts = test::randomCloud(2000, 3, 55);
+    const KdTree tree = KdTree::build(pts, 8);
+    const PointSet queries = test::randomCloud(50, 3, 56);
+    unsigned exact_matches = 0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto approx = tree.knn(queries[q], 1, 64);
+        const auto exact = test::bruteKnn(pts, queries[q], 1);
+        ASSERT_EQ(approx.size(), 1u);
+        // Budgeted search must return a valid point, and usually the
+        // true nearest (best-bin-first is a good heuristic).
+        EXPECT_GE(approx[0].dist2, exact[0].dist2);
+        if (approx[0].index == exact[0].index)
+            ++exact_matches;
+    }
+    EXPECT_GE(exact_matches, 40u); // >= 80% recall@1 with tiny budget
+}
+
+TEST(KdTree, DepthIsLogarithmicForBalancedData)
+{
+    const PointSet pts = test::randomCloud(1024, 3, 77);
+    const KdTree tree = KdTree::build(pts, 8);
+    // 1024/8 = 128 leaves -> depth ~8; allow slack for uneven splits.
+    EXPECT_LE(tree.depth(), 12u);
+    EXPECT_GE(tree.depth(), 7u);
+}
+
+TEST(KdTree, DuplicatePoints)
+{
+    PointSet pts(3);
+    for (int i = 0; i < 64; ++i)
+        pts.add(Vec3{1, 1, 1});
+    const KdTree tree = KdTree::build(pts, 4);
+    EXPECT_TRUE(tree.validate());
+    const float q[3] = {1, 1, 1};
+    const auto got = tree.knn(q, 3);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_FLOAT_EQ(got[0].dist2, 0.0f);
+}
+
+TEST(KdTree, LeafRangesCoverAllPoints)
+{
+    const PointSet pts = test::randomCloud(500, 4, 88);
+    const KdTree tree = KdTree::build(pts, 16);
+    std::size_t covered = 0;
+    for (const auto &node : tree.nodes()) {
+        if (node.isLeaf())
+            covered += node.count;
+    }
+    EXPECT_EQ(covered, 500u);
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * k-d tree radius-search tests against brute force.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "structures/kdtree.hh"
+
+namespace hsu
+{
+namespace
+{
+
+std::vector<Neighbor>
+bruteRadius(const PointSet &pts, const float *q, float r2)
+{
+    std::vector<Neighbor> out;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const float d2 = pointDist2(q, pts[i], pts.dim());
+        if (d2 <= r2)
+            out.push_back({static_cast<std::uint32_t>(i), d2});
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+class RadiusSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(RadiusSweep, MatchesBruteForce)
+{
+    const unsigned dim = GetParam();
+    const PointSet pts = test::randomCloud(600, dim, dim * 11 + 1);
+    const KdTree tree = KdTree::build(pts, 8);
+    const PointSet queries = test::randomCloud(25, dim, dim * 11 + 2);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        for (const float r : {0.5f, 2.0f, 6.0f}) {
+            const auto got = tree.radiusSearch(queries[q], r * r);
+            const auto want = bruteRadius(pts, queries[q], r * r);
+            ASSERT_EQ(got.size(), want.size())
+                << "q=" << q << " r=" << r;
+            for (std::size_t i = 0; i < got.size(); ++i)
+                EXPECT_EQ(got[i].index, want[i].index);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RadiusSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+TEST(RadiusSearch, ZeroRadiusFindsExactPoint)
+{
+    const PointSet pts = test::randomCloud(100, 3, 12);
+    const KdTree tree = KdTree::build(pts, 4);
+    const auto hits = tree.radiusSearch(pts[17], 0.0f);
+    ASSERT_GE(hits.size(), 1u);
+    EXPECT_EQ(hits[0].index, 17u);
+    EXPECT_EQ(hits[0].dist2, 0.0f);
+}
+
+TEST(RadiusSearch, EmptyTree)
+{
+    const PointSet pts(3);
+    const KdTree tree = KdTree::build(pts);
+    const float q[3] = {0, 0, 0};
+    EXPECT_TRUE(tree.radiusSearch(q, 100.0f).empty());
+}
+
+TEST(RadiusSearch, HugeRadiusReturnsEverything)
+{
+    const PointSet pts = test::randomCloud(250, 4, 13);
+    const KdTree tree = KdTree::build(pts, 16);
+    const PointSet q = test::randomCloud(1, 4, 14);
+    EXPECT_EQ(tree.radiusSearch(q[0], 1e12f).size(), 250u);
+}
+
+} // namespace
+} // namespace hsu

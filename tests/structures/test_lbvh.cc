@@ -1,0 +1,156 @@
+/**
+ * @file
+ * LBVH builder tests: structural validation across sizes, point-query
+ * correctness against brute force, and BVH4 collapse invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "structures/lbvh.hh"
+
+namespace hsu
+{
+namespace
+{
+
+class LbvhSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(LbvhSizes, StructureValidates)
+{
+    const std::size_t n = GetParam();
+    const PointSet pts = test::randomCloud(n, 3, n + 1);
+    const Lbvh bvh = Lbvh::buildFromPoints(pts, 0.1f);
+    EXPECT_EQ(bvh.numLeaves(), n);
+    if (n > 0) {
+        EXPECT_EQ(bvh.size(), 2 * n - 1);
+    }
+    EXPECT_TRUE(bvh.validate());
+}
+
+TEST_P(LbvhSizes, Bvh4CollapseValidates)
+{
+    const std::size_t n = GetParam();
+    if (n == 0)
+        return;
+    const PointSet pts = test::randomCloud(n, 3, n + 2);
+    const Lbvh bvh = Lbvh::buildFromPoints(pts, 0.1f);
+    const Bvh4 wide = Bvh4::fromBinary(bvh);
+    EXPECT_EQ(wide.numPrimitives(), n);
+    EXPECT_TRUE(wide.validate());
+    // A BVH4 should have at most as many inner nodes as the binary.
+    EXPECT_LE(wide.size(), bvh.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LbvhSizes,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u, 17u, 64u,
+                                           100u, 257u, 1000u));
+
+TEST(Lbvh, PointQueryMatchesBruteForce)
+{
+    const float r = 0.4f;
+    const PointSet pts = test::randomCloud(300, 3, 42);
+    const Lbvh bvh = Lbvh::buildFromPoints(pts, r);
+    Rng rng(43);
+    for (int t = 0; t < 100; ++t) {
+        const Vec3 q{rng.uniform(-11, 11), rng.uniform(-11, 11),
+                     rng.uniform(-11, 11)};
+        const auto got = bvh.pointQuery(q);
+        std::vector<std::uint32_t> want;
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            if (Aabb::centered(pts.vec3(i), r).contains(q))
+                want.push_back(static_cast<std::uint32_t>(i));
+        }
+        EXPECT_EQ(got, want) << "query " << t;
+    }
+}
+
+TEST(Lbvh, DuplicatePointsHandled)
+{
+    // Identical Morton codes exercise the index tie-break.
+    PointSet pts(3);
+    for (int i = 0; i < 50; ++i)
+        pts.add(Vec3{1.0f, 2.0f, 3.0f});
+    for (int i = 0; i < 50; ++i)
+        pts.add(Vec3{4.0f, 5.0f, 6.0f});
+    const Lbvh bvh = Lbvh::buildFromPoints(pts, 0.1f);
+    EXPECT_TRUE(bvh.validate());
+    EXPECT_EQ(bvh.pointQuery({1, 2, 3}).size(), 50u);
+}
+
+TEST(Lbvh, FromTriangles)
+{
+    std::vector<Triangle> tris;
+    Rng rng(7);
+    for (std::uint32_t i = 0; i < 200; ++i) {
+        const Vec3 base{rng.uniform(-5, 5), rng.uniform(-5, 5),
+                        rng.uniform(-5, 5)};
+        tris.push_back({base, base + Vec3{0.3f, 0, 0},
+                        base + Vec3{0, 0.3f, 0}, i});
+    }
+    const Lbvh bvh = Lbvh::buildFromTriangles(tris);
+    EXPECT_TRUE(bvh.validate());
+    EXPECT_EQ(bvh.numLeaves(), tris.size());
+}
+
+TEST(Lbvh, PrimitivePositionsArePermutation)
+{
+    const PointSet pts = test::randomCloud(128, 3, 99);
+    const Lbvh bvh = Lbvh::buildFromPoints(pts, 0.05f);
+    const auto pos = bvh.primitivePositions();
+    ASSERT_EQ(pos.size(), 128u);
+    std::vector<bool> seen(128, false);
+    for (const auto p : pos) {
+        ASSERT_LT(p, 128u);
+        EXPECT_FALSE(seen[p]);
+        seen[p] = true;
+    }
+}
+
+TEST(Lbvh, MortonOrderClustersNeighbors)
+{
+    // Points in the same tight cluster should land in nearby leaves.
+    PointSet pts(3);
+    Rng rng(13);
+    for (int c = 0; c < 8; ++c) {
+        const Vec3 center{static_cast<float>(c % 2) * 10,
+                          static_cast<float>((c / 2) % 2) * 10,
+                          static_cast<float>(c / 4) * 10};
+        for (int i = 0; i < 16; ++i) {
+            pts.add(center + Vec3{rng.gaussian(0, 0.1f),
+                                  rng.gaussian(0, 0.1f),
+                                  rng.gaussian(0, 0.1f)});
+        }
+    }
+    const Lbvh bvh = Lbvh::buildFromPoints(pts, 0.1f);
+    const auto pos = bvh.primitivePositions();
+    // Average in-cluster position spread should be far below the
+    // global spread (128 leaves).
+    double in_cluster = 0;
+    for (int c = 0; c < 8; ++c) {
+        std::uint32_t lo = ~0u, hi = 0;
+        for (int i = 0; i < 16; ++i) {
+            const auto p = pos[static_cast<std::size_t>(c * 16 + i)];
+            lo = std::min(lo, p);
+            hi = std::max(hi, p);
+        }
+        in_cluster += hi - lo;
+    }
+    EXPECT_LT(in_cluster / 8.0, 40.0);
+}
+
+TEST(Bvh4, SingleLeafTree)
+{
+    PointSet pts(3);
+    pts.add(Vec3{0, 0, 0});
+    const Lbvh bvh = Lbvh::buildFromPoints(pts, 1.0f);
+    const Bvh4 wide = Bvh4::fromBinary(bvh);
+    EXPECT_TRUE(wide.validate());
+    EXPECT_EQ(wide.size(), 1u);
+    EXPECT_TRUE(childIsLeaf(wide.nodes()[0].child[0]));
+}
+
+} // namespace
+} // namespace hsu

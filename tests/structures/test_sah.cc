@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Binned-SAH builder, tree-quality metric, and refit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hh"
+#include "structures/lbvh.hh"
+
+namespace hsu
+{
+namespace
+{
+
+class SahSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SahSizes, StructureValidates)
+{
+    const std::size_t n = GetParam();
+    const PointSet pts = test::randomCloud(n, 3, n + 7);
+    const Lbvh bvh = Lbvh::buildSahFromPoints(pts, 0.1f);
+    EXPECT_EQ(bvh.numLeaves(), n);
+    EXPECT_TRUE(bvh.validate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SahSizes,
+                         ::testing::Values(0u, 1u, 2u, 3u, 9u, 33u,
+                                           128u, 500u));
+
+TEST(SahBuild, SameQueryResultsAsMorton)
+{
+    const float r = 0.35f;
+    const PointSet pts = test::randomCloud(400, 3, 61);
+    const Lbvh morton = Lbvh::buildFromPoints(pts, r);
+    const Lbvh sah = Lbvh::buildSahFromPoints(pts, r);
+    Rng rng(62);
+    for (int t = 0; t < 60; ++t) {
+        const Vec3 q{rng.uniform(-11, 11), rng.uniform(-11, 11),
+                     rng.uniform(-11, 11)};
+        EXPECT_EQ(morton.pointQuery(q), sah.pointQuery(q));
+    }
+}
+
+TEST(SahBuild, QualityBeatsMortonOnClusteredData)
+{
+    // SAH's advantage shows on unevenly distributed primitives.
+    PointSet pts(3);
+    Rng rng(63);
+    for (int c = 0; c < 6; ++c) {
+        const Vec3 center{rng.uniform(-20, 20), rng.uniform(-20, 20),
+                          rng.uniform(-20, 20)};
+        for (int i = 0; i < 150; ++i) {
+            pts.add(center + Vec3{rng.gaussian(0, 0.3f),
+                                  rng.gaussian(0, 0.3f),
+                                  rng.gaussian(0, 0.3f)});
+        }
+    }
+    const Lbvh morton = Lbvh::buildFromPoints(pts, 0.1f);
+    const Lbvh sah = Lbvh::buildSahFromPoints(pts, 0.1f);
+    EXPECT_LE(sah.sahCost(), morton.sahCost() * 1.05);
+    EXPECT_GT(sah.sahCost(), 0.0);
+}
+
+TEST(SahBuild, PrimitivePositionsPermutation)
+{
+    const PointSet pts = test::randomCloud(200, 3, 64);
+    const Lbvh sah = Lbvh::buildSahFromPoints(pts, 0.1f);
+    const auto pos = sah.primitivePositions();
+    std::vector<bool> seen(200, false);
+    for (const auto p : pos) {
+        ASSERT_LT(p, 200u);
+        EXPECT_FALSE(seen[p]);
+        seen[p] = true;
+    }
+}
+
+TEST(Refit, FollowsMovedPrimitives)
+{
+    PointSet pts = test::randomCloud(300, 3, 65);
+    Lbvh bvh = Lbvh::buildFromPoints(pts, 0.2f);
+    ASSERT_TRUE(bvh.validate());
+
+    // Move every point and refit (topology preserved).
+    Rng rng(66);
+    std::vector<Aabb> moved(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const Vec3 p = pts.vec3(i) + Vec3{rng.gaussian(0, 0.5f),
+                                          rng.gaussian(0, 0.5f),
+                                          rng.gaussian(0, 0.5f)};
+        float *coords = pts.mutablePoint(i);
+        coords[0] = p.x;
+        coords[1] = p.y;
+        coords[2] = p.z;
+        moved[i] = Aabb::centered(p, 0.2f);
+    }
+    bvh.refit(moved);
+    EXPECT_TRUE(bvh.validate());
+
+    // Queries against the refit tree match brute force.
+    for (int t = 0; t < 40; ++t) {
+        const Vec3 q{rng.uniform(-11, 11), rng.uniform(-11, 11),
+                     rng.uniform(-11, 11)};
+        const auto got = bvh.pointQuery(q);
+        std::vector<std::uint32_t> want;
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            if (Aabb::centered(pts.vec3(i), 0.2f).contains(q))
+                want.push_back(static_cast<std::uint32_t>(i));
+        }
+        EXPECT_EQ(got, want);
+    }
+}
+
+TEST(Refit, WorksOnSahTree)
+{
+    PointSet pts = test::randomCloud(128, 3, 67);
+    Lbvh bvh = Lbvh::buildSahFromPoints(pts, 0.15f);
+    std::vector<Aabb> same(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        same[i] = Aabb::centered(pts.vec3(i), 0.15f);
+    bvh.refit(same); // no-op refit keeps a valid tree
+    EXPECT_TRUE(bvh.validate());
+}
+
+TEST(SahCost, EmptyAndSingle)
+{
+    EXPECT_EQ(Lbvh::buildSah({}).sahCost(), 0.0);
+    PointSet one(3);
+    one.add(Vec3{1, 2, 3});
+    EXPECT_EQ(Lbvh::buildSahFromPoints(one, 0.5f).sahCost(), 0.0);
+}
+
+} // namespace
+} // namespace hsu
