@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bvh4.dir/ablation_bvh4.cc.o"
+  "CMakeFiles/ablation_bvh4.dir/ablation_bvh4.cc.o.d"
+  "ablation_bvh4"
+  "ablation_bvh4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bvh4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

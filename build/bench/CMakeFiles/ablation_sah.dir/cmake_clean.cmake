@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sah.dir/ablation_sah.cc.o"
+  "CMakeFiles/ablation_sah.dir/ablation_sah.cc.o.d"
+  "ablation_sah"
+  "ablation_sah.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sah.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

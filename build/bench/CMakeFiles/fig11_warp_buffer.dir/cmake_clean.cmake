@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_warp_buffer.dir/fig11_warp_buffer.cc.o"
+  "CMakeFiles/fig11_warp_buffer.dir/fig11_warp_buffer.cc.o.d"
+  "fig11_warp_buffer"
+  "fig11_warp_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_warp_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

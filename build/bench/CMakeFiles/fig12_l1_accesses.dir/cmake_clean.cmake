@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_l1_accesses.dir/fig12_l1_accesses.cc.o"
+  "CMakeFiles/fig12_l1_accesses.dir/fig12_l1_accesses.cc.o.d"
+  "fig12_l1_accesses"
+  "fig12_l1_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_l1_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_l1_missrate.dir/fig13_l1_missrate.cc.o"
+  "CMakeFiles/fig13_l1_missrate.dir/fig13_l1_missrate.cc.o.d"
+  "fig13_l1_missrate"
+  "fig13_l1_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_l1_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_row_locality.dir/fig14_row_locality.cc.o"
+  "CMakeFiles/fig14_row_locality.dir/fig14_row_locality.cc.o.d"
+  "fig14_row_locality"
+  "fig14_row_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_row_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

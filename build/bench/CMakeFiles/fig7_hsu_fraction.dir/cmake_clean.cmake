@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_hsu_fraction.dir/fig7_hsu_fraction.cc.o"
+  "CMakeFiles/fig7_hsu_fraction.dir/fig7_hsu_fraction.cc.o.d"
+  "fig7_hsu_fraction"
+  "fig7_hsu_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_hsu_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

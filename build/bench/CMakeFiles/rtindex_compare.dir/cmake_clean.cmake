@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtindex_compare.dir/rtindex_compare.cc.o"
+  "CMakeFiles/rtindex_compare.dir/rtindex_compare.cc.o.d"
+  "rtindex_compare"
+  "rtindex_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtindex_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

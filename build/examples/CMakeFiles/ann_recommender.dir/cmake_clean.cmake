@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ann_recommender.dir/ann_recommender.cpp.o"
+  "CMakeFiles/ann_recommender.dir/ann_recommender.cpp.o.d"
+  "ann_recommender"
+  "ann_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ann_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/kv_store.cpp" "examples/CMakeFiles/kv_store.dir/kv_store.cpp.o" "gcc" "examples/CMakeFiles/kv_store.dir/kv_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/hsu_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hsu_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hsu_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/structures/CMakeFiles/hsu_structures.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hsu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtunit/CMakeFiles/hsu_rtunit.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hsu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsu/CMakeFiles/hsu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hsu_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hsu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

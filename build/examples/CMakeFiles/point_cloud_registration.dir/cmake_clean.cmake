@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_cloud_registration.dir/point_cloud_registration.cpp.o"
+  "CMakeFiles/point_cloud_registration.dir/point_cloud_registration.cpp.o.d"
+  "point_cloud_registration"
+  "point_cloud_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_cloud_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsu_analysis.dir/datapath_cost.cc.o"
+  "CMakeFiles/hsu_analysis.dir/datapath_cost.cc.o.d"
+  "CMakeFiles/hsu_analysis.dir/roofline.cc.o"
+  "CMakeFiles/hsu_analysis.dir/roofline.cc.o.d"
+  "libhsu_analysis.a"
+  "libhsu_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsu_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

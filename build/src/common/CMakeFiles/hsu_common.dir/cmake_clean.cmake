@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsu_common.dir/logging.cc.o"
+  "CMakeFiles/hsu_common.dir/logging.cc.o.d"
+  "CMakeFiles/hsu_common.dir/rng.cc.o"
+  "CMakeFiles/hsu_common.dir/rng.cc.o.d"
+  "CMakeFiles/hsu_common.dir/stats.cc.o"
+  "CMakeFiles/hsu_common.dir/stats.cc.o.d"
+  "CMakeFiles/hsu_common.dir/table.cc.o"
+  "CMakeFiles/hsu_common.dir/table.cc.o.d"
+  "libhsu_common.a"
+  "libhsu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

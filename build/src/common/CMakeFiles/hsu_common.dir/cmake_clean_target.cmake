@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsu_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsu_geom.dir/intersect.cc.o"
+  "CMakeFiles/hsu_geom.dir/intersect.cc.o.d"
+  "CMakeFiles/hsu_geom.dir/morton.cc.o"
+  "CMakeFiles/hsu_geom.dir/morton.cc.o.d"
+  "libhsu_geom.a"
+  "libhsu_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsu_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hsu/device_api.cc" "src/hsu/CMakeFiles/hsu_isa.dir/device_api.cc.o" "gcc" "src/hsu/CMakeFiles/hsu_isa.dir/device_api.cc.o.d"
+  "/root/repo/src/hsu/encoding.cc" "src/hsu/CMakeFiles/hsu_isa.dir/encoding.cc.o" "gcc" "src/hsu/CMakeFiles/hsu_isa.dir/encoding.cc.o.d"
+  "/root/repo/src/hsu/functional.cc" "src/hsu/CMakeFiles/hsu_isa.dir/functional.cc.o" "gcc" "src/hsu/CMakeFiles/hsu_isa.dir/functional.cc.o.d"
+  "/root/repo/src/hsu/isa.cc" "src/hsu/CMakeFiles/hsu_isa.dir/isa.cc.o" "gcc" "src/hsu/CMakeFiles/hsu_isa.dir/isa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hsu_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsu_isa.dir/device_api.cc.o"
+  "CMakeFiles/hsu_isa.dir/device_api.cc.o.d"
+  "CMakeFiles/hsu_isa.dir/encoding.cc.o"
+  "CMakeFiles/hsu_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/hsu_isa.dir/functional.cc.o"
+  "CMakeFiles/hsu_isa.dir/functional.cc.o.d"
+  "CMakeFiles/hsu_isa.dir/isa.cc.o"
+  "CMakeFiles/hsu_isa.dir/isa.cc.o.d"
+  "libhsu_isa.a"
+  "libhsu_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsu_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

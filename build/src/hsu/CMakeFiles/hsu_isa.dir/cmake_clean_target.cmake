@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhsu_isa.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsu_mem.dir/cache.cc.o"
+  "CMakeFiles/hsu_mem.dir/cache.cc.o.d"
+  "CMakeFiles/hsu_mem.dir/dram.cc.o"
+  "CMakeFiles/hsu_mem.dir/dram.cc.o.d"
+  "CMakeFiles/hsu_mem.dir/memsys.cc.o"
+  "CMakeFiles/hsu_mem.dir/memsys.cc.o.d"
+  "libhsu_mem.a"
+  "libhsu_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsu_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

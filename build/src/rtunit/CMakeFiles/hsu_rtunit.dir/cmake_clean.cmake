@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsu_rtunit.dir/rtunit.cc.o"
+  "CMakeFiles/hsu_rtunit.dir/rtunit.cc.o.d"
+  "libhsu_rtunit.a"
+  "libhsu_rtunit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsu_rtunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hsu_rtunit.
+# This may be replaced when dependencies are built.

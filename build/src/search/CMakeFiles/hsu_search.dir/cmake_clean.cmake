@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsu_search.dir/btree_kernel.cc.o"
+  "CMakeFiles/hsu_search.dir/btree_kernel.cc.o.d"
+  "CMakeFiles/hsu_search.dir/bvhnn.cc.o"
+  "CMakeFiles/hsu_search.dir/bvhnn.cc.o.d"
+  "CMakeFiles/hsu_search.dir/flann.cc.o"
+  "CMakeFiles/hsu_search.dir/flann.cc.o.d"
+  "CMakeFiles/hsu_search.dir/ggnn.cc.o"
+  "CMakeFiles/hsu_search.dir/ggnn.cc.o.d"
+  "CMakeFiles/hsu_search.dir/pipeline.cc.o"
+  "CMakeFiles/hsu_search.dir/pipeline.cc.o.d"
+  "CMakeFiles/hsu_search.dir/rtindex.cc.o"
+  "CMakeFiles/hsu_search.dir/rtindex.cc.o.d"
+  "CMakeFiles/hsu_search.dir/runner.cc.o"
+  "CMakeFiles/hsu_search.dir/runner.cc.o.d"
+  "libhsu_search.a"
+  "libhsu_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsu_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

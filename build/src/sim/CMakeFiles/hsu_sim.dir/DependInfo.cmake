@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/gpu.cc" "src/sim/CMakeFiles/hsu_sim.dir/gpu.cc.o" "gcc" "src/sim/CMakeFiles/hsu_sim.dir/gpu.cc.o.d"
+  "/root/repo/src/sim/lsu.cc" "src/sim/CMakeFiles/hsu_sim.dir/lsu.cc.o" "gcc" "src/sim/CMakeFiles/hsu_sim.dir/lsu.cc.o.d"
+  "/root/repo/src/sim/sm.cc" "src/sim/CMakeFiles/hsu_sim.dir/sm.cc.o" "gcc" "src/sim/CMakeFiles/hsu_sim.dir/sm.cc.o.d"
+  "/root/repo/src/sim/trace_stats.cc" "src/sim/CMakeFiles/hsu_sim.dir/trace_stats.cc.o" "gcc" "src/sim/CMakeFiles/hsu_sim.dir/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsu/CMakeFiles/hsu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hsu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtunit/CMakeFiles/hsu_rtunit.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hsu_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsu_sim.dir/gpu.cc.o"
+  "CMakeFiles/hsu_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/hsu_sim.dir/lsu.cc.o"
+  "CMakeFiles/hsu_sim.dir/lsu.cc.o.d"
+  "CMakeFiles/hsu_sim.dir/sm.cc.o"
+  "CMakeFiles/hsu_sim.dir/sm.cc.o.d"
+  "CMakeFiles/hsu_sim.dir/trace_stats.cc.o"
+  "CMakeFiles/hsu_sim.dir/trace_stats.cc.o.d"
+  "libhsu_sim.a"
+  "libhsu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/structures/btree.cc" "src/structures/CMakeFiles/hsu_structures.dir/btree.cc.o" "gcc" "src/structures/CMakeFiles/hsu_structures.dir/btree.cc.o.d"
+  "/root/repo/src/structures/graph.cc" "src/structures/CMakeFiles/hsu_structures.dir/graph.cc.o" "gcc" "src/structures/CMakeFiles/hsu_structures.dir/graph.cc.o.d"
+  "/root/repo/src/structures/kdtree.cc" "src/structures/CMakeFiles/hsu_structures.dir/kdtree.cc.o" "gcc" "src/structures/CMakeFiles/hsu_structures.dir/kdtree.cc.o.d"
+  "/root/repo/src/structures/lbvh.cc" "src/structures/CMakeFiles/hsu_structures.dir/lbvh.cc.o" "gcc" "src/structures/CMakeFiles/hsu_structures.dir/lbvh.cc.o.d"
+  "/root/repo/src/structures/serialize.cc" "src/structures/CMakeFiles/hsu_structures.dir/serialize.cc.o" "gcc" "src/structures/CMakeFiles/hsu_structures.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hsu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/hsu_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsu/CMakeFiles/hsu_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

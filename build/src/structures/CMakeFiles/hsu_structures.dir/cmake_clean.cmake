@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsu_structures.dir/btree.cc.o"
+  "CMakeFiles/hsu_structures.dir/btree.cc.o.d"
+  "CMakeFiles/hsu_structures.dir/graph.cc.o"
+  "CMakeFiles/hsu_structures.dir/graph.cc.o.d"
+  "CMakeFiles/hsu_structures.dir/kdtree.cc.o"
+  "CMakeFiles/hsu_structures.dir/kdtree.cc.o.d"
+  "CMakeFiles/hsu_structures.dir/lbvh.cc.o"
+  "CMakeFiles/hsu_structures.dir/lbvh.cc.o.d"
+  "CMakeFiles/hsu_structures.dir/serialize.cc.o"
+  "CMakeFiles/hsu_structures.dir/serialize.cc.o.d"
+  "libhsu_structures.a"
+  "libhsu_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsu_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

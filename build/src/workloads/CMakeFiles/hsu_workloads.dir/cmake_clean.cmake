@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsu_workloads.dir/datasets.cc.o"
+  "CMakeFiles/hsu_workloads.dir/datasets.cc.o.d"
+  "libhsu_workloads.a"
+  "libhsu_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsu_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

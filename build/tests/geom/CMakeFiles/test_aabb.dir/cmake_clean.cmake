@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aabb.dir/test_aabb.cc.o"
+  "CMakeFiles/test_aabb.dir/test_aabb.cc.o.d"
+  "test_aabb"
+  "test_aabb.pdb"
+  "test_aabb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aabb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/geom
+# Build directory: /root/repo/build/tests/geom
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/geom/test_vec3[1]_include.cmake")
+include("/root/repo/build/tests/geom/test_aabb[1]_include.cmake")
+include("/root/repo/build/tests/geom/test_intersect[1]_include.cmake")
+include("/root/repo/build/tests/geom/test_morton[1]_include.cmake")

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hsu
+# Build directory: /root/repo/build/tests/hsu
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hsu/test_functional[1]_include.cmake")
+include("/root/repo/build/tests/hsu/test_device_api[1]_include.cmake")
+include("/root/repo/build/tests/hsu/test_encoding[1]_include.cmake")

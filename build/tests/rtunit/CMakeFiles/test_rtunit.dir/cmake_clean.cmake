@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtunit.dir/test_rtunit.cc.o"
+  "CMakeFiles/test_rtunit.dir/test_rtunit.cc.o.d"
+  "test_rtunit"
+  "test_rtunit.pdb"
+  "test_rtunit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_search.dir/probe_main.cc.o"
+  "CMakeFiles/probe_search.dir/probe_main.cc.o.d"
+  "probe_search"
+  "probe_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/search
+# Build directory: /root/repo/build/tests/search
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/search/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/search/test_runner[1]_include.cmake")
+include("/root/repo/build/tests/search/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/search/test_bvh4_kernel[1]_include.cmake")

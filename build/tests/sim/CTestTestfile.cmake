@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/test_gpu[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_lsu[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_trace_stats[1]_include.cmake")
+include("/root/repo/build/tests/sim/test_determinism[1]_include.cmake")

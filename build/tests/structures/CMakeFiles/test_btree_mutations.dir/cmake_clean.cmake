@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_btree_mutations.dir/test_btree_mutations.cc.o"
+  "CMakeFiles/test_btree_mutations.dir/test_btree_mutations.cc.o.d"
+  "test_btree_mutations"
+  "test_btree_mutations.pdb"
+  "test_btree_mutations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_btree_mutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

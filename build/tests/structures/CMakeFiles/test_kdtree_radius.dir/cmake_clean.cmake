@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kdtree_radius.dir/test_kdtree_radius.cc.o"
+  "CMakeFiles/test_kdtree_radius.dir/test_kdtree_radius.cc.o.d"
+  "test_kdtree_radius"
+  "test_kdtree_radius.pdb"
+  "test_kdtree_radius[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kdtree_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lbvh.dir/test_lbvh.cc.o"
+  "CMakeFiles/test_lbvh.dir/test_lbvh.cc.o.d"
+  "test_lbvh"
+  "test_lbvh.pdb"
+  "test_lbvh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lbvh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

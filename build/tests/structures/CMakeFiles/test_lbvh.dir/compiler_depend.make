@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_lbvh.
+# This may be replaced when dependencies are built.

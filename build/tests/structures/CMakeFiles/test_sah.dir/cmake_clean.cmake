@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sah.dir/test_sah.cc.o"
+  "CMakeFiles/test_sah.dir/test_sah.cc.o.d"
+  "test_sah"
+  "test_sah.pdb"
+  "test_sah[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sah.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/structures
+# Build directory: /root/repo/build/tests/structures
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/structures/test_lbvh[1]_include.cmake")
+include("/root/repo/build/tests/structures/test_kdtree[1]_include.cmake")
+include("/root/repo/build/tests/structures/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/structures/test_btree[1]_include.cmake")
+include("/root/repo/build/tests/structures/test_sah[1]_include.cmake")
+include("/root/repo/build/tests/structures/test_btree_mutations[1]_include.cmake")
+include("/root/repo/build/tests/structures/test_kdtree_radius[1]_include.cmake")
+include("/root/repo/build/tests/structures/test_serialize[1]_include.cmake")
