@@ -18,20 +18,35 @@ main()
     Table t("Fig 10: GGNN speedup vs non-RT baseline at datapath widths",
             {"Dataset", "w=4", "w=8", "w=16", "w=32"});
 
-    for (const DatasetId id : datasetsForAlgo(Algo::Ggnn)) {
-        const DatasetInfo &info = datasetInfo(id);
-        const RunnerOptions opts = bench::benchOptions(info);
-        StatGroup base_stats;
-        const RunResult base = runBaseOnly(Algo::Ggnn, id,
-                                           bench::defaultGpu(), opts,
-                                           base_stats);
-        std::vector<std::string> row{info.abbr};
+    // One BaseOnly + four HsuOnly jobs per dataset, all independent:
+    // fan the whole sweep across the pool and consume by index.
+    const std::vector<DatasetId> ids = datasetsForAlgo(Algo::Ggnn);
+    std::vector<SimJob> jobs;
+    for (const DatasetId id : ids) {
+        const RunnerOptions opts = bench::benchOptions(datasetInfo(id));
+        SimJob base;
+        base.kind = SimJob::Kind::BaseOnly;
+        base.algo = Algo::Ggnn;
+        base.dataset = id;
+        base.gpu = bench::defaultGpu();
+        base.opts = opts;
+        jobs.push_back(base);
         for (const unsigned w : widths) {
-            GpuConfig cfg = bench::defaultGpu();
-            cfg.datapath.euclidWidth = w;
-            StatGroup stats;
-            const RunResult hsu =
-                runHsuOnly(Algo::Ggnn, id, cfg, opts, stats);
+            SimJob job = base;
+            job.kind = SimJob::Kind::HsuOnly;
+            job.gpu.datapath.euclidWidth = w;
+            jobs.push_back(std::move(job));
+        }
+    }
+    const std::vector<SimJobResult> res =
+        runJobsParallel(std::move(jobs));
+
+    std::size_t k = 0;
+    for (const DatasetId id : ids) {
+        const RunResult &base = res[k++].run;
+        std::vector<std::string> row{datasetInfo(id).abbr};
+        for (std::size_t w = 0; w < std::size(widths); ++w) {
+            const RunResult &hsu = res[k++].run;
             row.push_back(Table::num(
                 static_cast<double>(base.cycles) /
                     static_cast<double>(hsu.cycles),

@@ -19,18 +19,34 @@ sweep(Algo algo, const char *title)
 {
     const unsigned sizes[] = {1, 4, 8, 16};
     Table t(title, {"Dataset", "wb=1", "wb=4", "wb=8", "wb=16"});
-    for (const DatasetId id : datasetsForAlgo(algo)) {
-        const DatasetInfo &info = datasetInfo(id);
-        const RunnerOptions opts = bench::benchOptions(info);
-        StatGroup base_stats;
-        const RunResult base = runBaseOnly(algo, id, bench::defaultGpu(),
-                                           opts, base_stats);
-        std::vector<std::string> row{workloadLabel(algo, info)};
+
+    const std::vector<DatasetId> ids = datasetsForAlgo(algo);
+    std::vector<SimJob> jobs;
+    for (const DatasetId id : ids) {
+        SimJob base;
+        base.kind = SimJob::Kind::BaseOnly;
+        base.algo = algo;
+        base.dataset = id;
+        base.gpu = bench::defaultGpu();
+        base.opts = bench::benchOptions(datasetInfo(id));
+        jobs.push_back(base);
         for (const unsigned wb : sizes) {
-            GpuConfig cfg = bench::defaultGpu();
-            cfg.warpBufferSize = wb;
-            StatGroup stats;
-            const RunResult hsu = runHsuOnly(algo, id, cfg, opts, stats);
+            SimJob job = base;
+            job.kind = SimJob::Kind::HsuOnly;
+            job.gpu.warpBufferSize = wb;
+            jobs.push_back(std::move(job));
+        }
+    }
+    const std::vector<SimJobResult> res =
+        runJobsParallel(std::move(jobs));
+
+    std::size_t k = 0;
+    for (const DatasetId id : ids) {
+        const RunResult &base = res[k++].run;
+        std::vector<std::string> row{
+            workloadLabel(algo, datasetInfo(id))};
+        for (std::size_t s = 0; s < std::size(sizes); ++s) {
+            const RunResult &hsu = res[k++].run;
             row.push_back(Table::num(
                 static_cast<double>(base.cycles) /
                     static_cast<double>(hsu.cycles),

@@ -13,13 +13,9 @@ using namespace hsu;
 int
 main()
 {
-    const GpuConfig gpu = bench::defaultGpu();
     Table t("Fig 12: HSU L1D accesses normalized to non-RT baseline",
             {"Workload", "Base accesses", "HSU accesses", "Normalized"});
-    for (const auto &[algo, id] : bench::allWorkloads()) {
-        const DatasetInfo &info = datasetInfo(id);
-        const WorkloadResult r =
-            runWorkload(algo, id, gpu, bench::benchOptions(info));
+    for (const WorkloadResult &r : bench::runAllWorkloads()) {
         const double norm = r.base.l1Accesses > 0
             ? r.hsu.l1Accesses / r.base.l1Accesses
             : 0.0;

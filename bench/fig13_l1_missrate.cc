@@ -13,13 +13,9 @@ using namespace hsu;
 int
 main()
 {
-    const GpuConfig gpu = bench::defaultGpu();
     Table t("Fig 13: L1D miss rate (MSHR hits count as hits)",
             {"Workload", "Base miss rate", "HSU miss rate"});
-    for (const auto &[algo, id] : bench::allWorkloads()) {
-        const DatasetInfo &info = datasetInfo(id);
-        const WorkloadResult r =
-            runWorkload(algo, id, gpu, bench::benchOptions(info));
+    for (const WorkloadResult &r : bench::runAllWorkloads()) {
         t.addRow({r.label, Table::pct(r.base.l1MissRate()),
                   Table::pct(r.hsu.l1MissRate())});
     }

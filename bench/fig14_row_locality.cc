@@ -13,13 +13,9 @@ using namespace hsu;
 int
 main()
 {
-    const GpuConfig gpu = bench::defaultGpu();
     Table t("Fig 14: DRAM row access locality (FR-FCFS)",
             {"Workload", "Base acc/activation", "HSU acc/activation"});
-    for (const auto &[algo, id] : bench::allWorkloads()) {
-        const DatasetInfo &info = datasetInfo(id);
-        const WorkloadResult r =
-            runWorkload(algo, id, gpu, bench::benchOptions(info));
+    for (const WorkloadResult &r : bench::runAllWorkloads()) {
         t.addRow({r.label, Table::num(r.base.dramRowLocality, 2),
                   Table::num(r.hsu.dramRowLocality, 2)});
     }

@@ -16,13 +16,26 @@ main()
     const GpuConfig gpu = bench::defaultGpu();
     Table t("Fig 7: Proportion of baseline execution offloadable to HSU",
             {"Workload", "Offloadable fraction"});
-    for (const auto &[algo, id] : bench::allWorkloads()) {
-        const DatasetInfo &info = datasetInfo(id);
-        StatGroup stats;
-        const RunResult r = runBaseOnly(algo, id, gpu,
-                                        bench::benchOptions(info), stats);
-        t.addRow({workloadLabel(algo, info),
-                  Table::pct(r.offloadableFraction)});
+
+    const auto work = bench::allWorkloads();
+    std::vector<SimJob> jobs;
+    jobs.reserve(work.size());
+    for (const auto &[algo, id] : work) {
+        SimJob job;
+        job.kind = SimJob::Kind::BaseOnly;
+        job.algo = algo;
+        job.dataset = id;
+        job.gpu = gpu;
+        job.opts = bench::benchOptions(datasetInfo(id));
+        jobs.push_back(std::move(job));
+    }
+    const std::vector<SimJobResult> res =
+        runJobsParallel(std::move(jobs));
+
+    for (std::size_t i = 0; i < work.size(); ++i) {
+        const auto &[algo, id] = work[i];
+        t.addRow({workloadLabel(algo, datasetInfo(id)),
+                  Table::pct(res[i].run.offloadableFraction)});
     }
     t.print(std::cout);
     return 0;

@@ -15,19 +15,15 @@ using namespace hsu;
 int
 main()
 {
-    const GpuConfig gpu = bench::defaultGpu();
     Table t("Fig 9: Speedup with HSU over non-RT baseline",
             {"Workload", "Base cycles", "HSU cycles", "Speedup"});
     std::map<Algo, std::vector<double>> per_algo;
 
-    for (const auto &[algo, id] : bench::allWorkloads()) {
-        const DatasetInfo &info = datasetInfo(id);
-        const WorkloadResult r =
-            runWorkload(algo, id, gpu, bench::benchOptions(info));
+    for (const WorkloadResult &r : bench::runAllWorkloads()) {
         t.addRow({r.label, std::to_string(r.base.cycles),
                   std::to_string(r.hsu.cycles),
                   Table::num(r.speedup(), 3)});
-        per_algo[algo].push_back(r.speedup());
+        per_algo[r.algo].push_back(r.speedup());
     }
     t.print(std::cout);
 

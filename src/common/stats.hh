@@ -26,6 +26,7 @@ class Stat
 
     Stat &operator++() { value_ += 1.0; return *this; }
     Stat &operator+=(double v) { value_ += v; return *this; }
+    Stat &operator-=(double v) { value_ -= v; return *this; }
 
     void set(double v) { value_ = v; }
     double value() const { return value_; }

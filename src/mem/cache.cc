@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/logging.hh"
@@ -169,6 +170,16 @@ bool
 Cache::idle() const
 {
     return mshr_.empty() && missQueue_.empty() && ready_.empty();
+}
+
+Cycle
+Cache::nextEventCycle(Cycle now) const
+{
+    if (!missQueue_.empty())
+        return now + 1;
+    if (!ready_.empty())
+        return std::max(ready_.top().ready, now + 1);
+    return kNeverCycle;
 }
 
 } // namespace hsu

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cycletime.hh"
 #include "common/stats.hh"
 
 namespace hsu
@@ -84,6 +85,14 @@ class Cache
 
     /** True when no MSHR is pending and all queues are empty. */
     bool idle() const;
+
+    /**
+     * Earliest future cycle at which tick() could act on its own:
+     * draining the miss queue (every cycle while non-empty) or firing a
+     * scheduled completion. Pending MSHRs awaiting a fill are driven by
+     * the lower level and carry no self event.
+     */
+    Cycle nextEventCycle(Cycle now) const;
 
     /** Line-align an address. */
     std::uint64_t lineOf(std::uint64_t addr) const

@@ -12,11 +12,13 @@
 #ifndef HSU_MEM_CHANNEL_HH
 #define HSU_MEM_CHANNEL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <utility>
 
+#include "common/cycletime.hh"
 #include "common/logging.hh"
 
 namespace hsu
@@ -70,6 +72,19 @@ class Channel
             queue_.pop_front();
             ++delivered;
         }
+    }
+
+    /**
+     * Earliest future cycle at which tick() could deliver a payload,
+     * assuming nothing new is sent; kNeverCycle when empty. Deliveries
+     * are FIFO with a fixed latency, so the head is the earliest.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        if (queue_.empty())
+            return kNeverCycle;
+        return std::max(queue_.front().first, now + 1);
     }
 
     /** Number of in-flight payloads. */

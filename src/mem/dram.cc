@@ -1,5 +1,7 @@
 #include "mem/dram.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace hsu
@@ -103,6 +105,19 @@ Dram::idle() const
             return false;
     }
     return true;
+}
+
+Cycle
+Dram::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNeverCycle;
+    if (!ready_.empty())
+        next = std::min(next, std::max(ready_.top().ready, now + 1));
+    for (const auto &bank : banks_) {
+        if (!bank.queue.empty())
+            next = std::min(next, std::max(bank.readyAt, now + 1));
+    }
+    return next;
 }
 
 double

@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/cycletime.hh"
 #include "common/stats.hh"
 #include "mem/cache.hh" // MemCompletion
 
@@ -50,6 +51,12 @@ class Dram
 
     /** True when all queues and in-flight services are empty. */
     bool idle() const;
+
+    /**
+     * Earliest future cycle at which tick() could fire a completion or
+     * start a bank service; kNeverCycle when fully drained.
+     */
+    Cycle nextEventCycle(Cycle now) const;
 
     /** Mean row-buffer accesses per activation so far (Fig 14 metric). */
     double rowLocality() const;

@@ -61,15 +61,16 @@ MemorySystem::l2Access(const DownPacket &pkt, std::uint64_t now)
         const UpPacket up{pkt.lineAddr, pkt.src};
         done = [this, up]() { upPending_.push_back(up); };
     }
-    ++statL2Lines_;
     const CacheOutcome outcome =
         l2_->access(byte_addr, pkt.write, std::move(done), now);
     if (outcome == CacheOutcome::RejectMshrFull ||
         outcome == CacheOutcome::RejectQueueFull) {
-        // Structural stall at the L2: retry on a later cycle.
-        statL2Lines_ += -1.0;
+        // Structural stall at the L2: retry on a later cycle. Only
+        // accepted accesses count as lines accessed.
         l2Retry_.push_back(pkt);
+        return;
     }
+    ++statL2Lines_;
 }
 
 void
@@ -103,6 +104,22 @@ MemorySystem::tick(std::uint64_t now)
     down_.tick(now);
     for (auto &l1 : l1s_)
         l1->tick(now);
+}
+
+Cycle
+MemorySystem::nextEventCycle(Cycle now) const
+{
+    // Pending retries and responses are attempted every cycle.
+    if (!upPending_.empty() || !l2Retry_.empty())
+        return now + 1;
+    Cycle next = std::min({down_.nextEventCycle(now),
+                           up_.nextEventCycle(now),
+                           toDram_.nextEventCycle(now),
+                           l2_->nextEventCycle(now),
+                           dram_->nextEventCycle(now)});
+    for (const auto &l1 : l1s_)
+        next = std::min(next, l1->nextEventCycle(now));
+    return next;
 }
 
 bool

@@ -61,6 +61,13 @@ class MemorySystem
     /** True when no request is in flight anywhere below the SMs. */
     bool idle() const;
 
+    /**
+     * Earliest future cycle at which any level of the hierarchy could
+     * act on its own (channel delivery, scheduled completion, bank
+     * service, queue drain); kNeverCycle when everything is idle.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
   private:
     struct DownPacket
     {

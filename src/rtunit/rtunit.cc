@@ -275,6 +275,46 @@ RtUnit::lineArrived(std::uint64_t line)
     pendingLines_.erase(it);
 }
 
+Cycle
+RtUnit::nextEventCycle(Cycle now) const
+{
+    // A queued node fetch retries for the L1 port every cycle, and the
+    // dispatch arbiter frees next cycle after an acceptance (a warp it
+    // rejected this cycle may dispatch then).
+    if (!fifo_.empty())
+        return now + 1;
+    if (lastDispatchCycle_ == now && dispatchedThisCycle_)
+        return now + 1;
+
+    Cycle next = kNeverCycle;
+    if (!writebacks_.empty())
+        next = std::min(next, std::max(writebacks_.top().ready, now + 1));
+    bool any_ready = false;
+    for (const Entry &e : entries_) {
+        if (e.state == EntryState::Issuing)
+            next = std::min(next, std::max(e.issueEndsAt, now + 1));
+        else if (e.state == EntryState::Ready)
+            any_ready = true;
+    }
+    if (any_ready)
+        next = std::min(next, std::max(datapathBusyUntil_, now + 1));
+    if (datapathBusyUntil_ > now) {
+        // Busy-cycle accounting changes when the datapath frees.
+        next = std::min(next, datapathBusyUntil_);
+    }
+    return next;
+}
+
+void
+RtUnit::fastForwardStats(Cycle now, Cycle next)
+{
+    // The skipped cycles (now, next) are eventless, so the datapath is
+    // busy for all of them or none: when busy, datapathBusyUntil_ is
+    // itself an event bounding `next` from above.
+    if (datapathBusyUntil_ > now)
+        statBusyCycles_ += static_cast<double>(next - now - 1);
+}
+
 bool
 RtUnit::drained() const
 {

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cycletime.hh"
 #include "common/stats.hh"
 #include "hsu/isa.hh"
 #include "mem/cache.hh"
@@ -80,6 +81,21 @@ class RtUnit
 
     /** True when no entry, request, or in-flight result remains. */
     bool drained() const;
+
+    /**
+     * Earliest future cycle at which tick() could act on its own:
+     * a writeback retiring, the datapath freeing (and possibly starting
+     * a Ready entry), or an Issuing slot recycling. Gathering entries
+     * wait on L1 completions, which are the L1's events, not ours.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account per-cycle stats for the provably-eventless gap
+     * (now, next): the datapath stays busy (or not) throughout, so the
+     * busy-cycle counter advances exactly as the un-skipped loop would.
+     */
+    void fastForwardStats(Cycle now, Cycle next);
 
     /** Busy-cycle count so far (datapath issuing). */
     double busyCycles() const { return statBusyCycles_.value(); }

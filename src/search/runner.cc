@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <future>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "common/logging.hh"
+#include "common/threadpool.hh"
 #include "search/btree_kernel.hh"
 #include "search/bvhnn.hh"
 #include "search/flann.hh"
@@ -123,11 +126,21 @@ pickRadius(const PointSet &points, std::uint64_t seed)
 namespace
 {
 
-/** Memoized per-dataset assets (indexes are expensive to build). */
+/**
+ * Memoized per-dataset index assets (expensive to build, immutable
+ * once built, safe to share across simulation threads). Queries are
+ * NOT cached: they depend on the per-call RunnerOptions, so each trace
+ * emission regenerates them — a pure, cheap function of the dataset
+ * seed, which keeps results independent of job order and thread count.
+ *
+ * Concurrency: a global mutex guards each cache map; the heavy build
+ * runs outside it under the slot's once_flag, so two threads wanting
+ * different datasets build concurrently while two wanting the same
+ * dataset build exactly once.
+ */
 struct GgnnAssets
 {
     PointSet points;
-    PointSet queries;
     std::unique_ptr<HnswGraph> graph;
     std::unique_ptr<GgnnKernel> kernel;
 };
@@ -135,7 +148,6 @@ struct GgnnAssets
 struct PointAssets
 {
     PointSet points;
-    PointSet queries;
     float radius = 0.0f;
     std::unique_ptr<Lbvh> bvh;
     std::unique_ptr<BvhnnKernel> bvhKernel;
@@ -145,106 +157,109 @@ struct PointAssets
 
 struct KeyAssets
 {
-    std::vector<std::uint32_t> queries;
     std::unique_ptr<BTree> tree;
     std::unique_ptr<BtreeKernel> kernel;
 };
 
-GgnnAssets &
-ggnnAssets(DatasetId id, const RunnerOptions &opts)
+template <typename Assets>
+struct AssetSlot
 {
-    static std::map<DatasetId, GgnnAssets> cache;
-    auto it = cache.find(id);
-    if (it != cache.end()) {
-        if (it->second.queries.size() != opts.ggnnQueries) {
-            it->second.queries =
-                generateQueries(datasetInfo(id), opts.ggnnQueries);
-        }
-        return it->second;
+    std::once_flag once;
+    Assets assets;
+};
+
+template <typename Assets, typename Build>
+const Assets &
+cachedAssets(DatasetId id, Build build)
+{
+    static std::mutex mutex;
+    static std::map<DatasetId, std::unique_ptr<AssetSlot<Assets>>> cache;
+
+    AssetSlot<Assets> *slot;
+    {
+        std::lock_guard lock(mutex);
+        auto &entry = cache[id];
+        if (!entry)
+            entry = std::make_unique<AssetSlot<Assets>>();
+        slot = entry.get(); // slots are pinned; the map may rehash
     }
-    const DatasetInfo &info = datasetInfo(id);
-    // Build in place: the graph/kernel hold references into the
-    // map-resident PointSet, so it must never move after build.
-    GgnnAssets &a = cache[id];
-    a.points = generatePoints(info);
-    a.queries = generateQueries(info, opts.ggnnQueries);
-    a.graph = std::make_unique<HnswGraph>(
-        HnswGraph::build(a.points, info.metric));
-    a.kernel = std::make_unique<GgnnKernel>(*a.graph, GgnnConfig{});
-    return a;
+    std::call_once(slot->once, [&] { build(slot->assets); });
+    return slot->assets;
 }
 
-PointAssets &
-pointAssets(DatasetId id, const RunnerOptions &opts)
+const GgnnAssets &
+ggnnAssets(DatasetId id)
 {
-    static std::map<DatasetId, PointAssets> cache;
-    auto it = cache.find(id);
-    if (it != cache.end()) {
-        if (it->second.queries.size() != opts.pointQueries) {
-            it->second.queries =
-                generateQueries(datasetInfo(id), opts.pointQueries);
-        }
-        return it->second;
-    }
-    const DatasetInfo &info = datasetInfo(id);
-    PointAssets &a = cache[id];
-    a.points = generatePoints(info);
-    a.queries = generateQueries(info, opts.pointQueries);
-    a.radius = pickRadius(a.points);
-    a.bvh = std::make_unique<Lbvh>(
-        Lbvh::buildFromPoints(a.points, a.radius));
-    a.bvhKernel = std::make_unique<BvhnnKernel>(
-        a.points, *a.bvh, BvhnnConfig{a.radius});
-    a.kdtree = std::make_unique<KdTree>(KdTree::build(a.points, 16));
-    a.flannKernel = std::make_unique<FlannKernel>(*a.kdtree);
-    return a;
+    return cachedAssets<GgnnAssets>(id, [id](GgnnAssets &a) {
+        const DatasetInfo &info = datasetInfo(id);
+        // Build in place: the graph/kernel hold references into the
+        // slot-resident PointSet, so it must never move after build.
+        a.points = generatePoints(info);
+        a.graph = std::make_unique<HnswGraph>(
+            HnswGraph::build(a.points, info.metric));
+        a.kernel = std::make_unique<GgnnKernel>(*a.graph, GgnnConfig{});
+    });
 }
 
-KeyAssets &
-keyAssets(DatasetId id, const RunnerOptions &opts)
+const PointAssets &
+pointAssets(DatasetId id)
 {
-    static std::map<DatasetId, KeyAssets> cache;
-    auto it = cache.find(id);
-    if (it != cache.end()) {
-        if (it->second.queries.size() != opts.keyQueries) {
-            it->second.queries =
-                generateKeyQueries(datasetInfo(id), opts.keyQueries);
-        }
-        return it->second;
-    }
-    const DatasetInfo &info = datasetInfo(id);
-    KeyAssets &a = cache[id];
-    a.queries = generateKeyQueries(info, opts.keyQueries);
-    auto keys = generateKeys(info);
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
-    pairs.reserve(keys.size());
-    for (std::size_t i = 0; i < keys.size(); ++i)
-        pairs.emplace_back(keys[i], static_cast<std::uint32_t>(i));
-    a.tree = std::make_unique<BTree>(BTree::build(std::move(pairs)));
-    a.kernel = std::make_unique<BtreeKernel>(*a.tree);
-    return a;
+    return cachedAssets<PointAssets>(id, [id](PointAssets &a) {
+        const DatasetInfo &info = datasetInfo(id);
+        a.points = generatePoints(info);
+        a.radius = pickRadius(a.points);
+        a.bvh = std::make_unique<Lbvh>(
+            Lbvh::buildFromPoints(a.points, a.radius));
+        a.bvhKernel = std::make_unique<BvhnnKernel>(
+            a.points, *a.bvh, BvhnnConfig{a.radius});
+        a.kdtree = std::make_unique<KdTree>(KdTree::build(a.points, 16));
+        a.flannKernel = std::make_unique<FlannKernel>(*a.kdtree);
+    });
+}
+
+const KeyAssets &
+keyAssets(DatasetId id)
+{
+    return cachedAssets<KeyAssets>(id, [id](KeyAssets &a) {
+        auto keys = generateKeys(datasetInfo(id));
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+        pairs.reserve(keys.size());
+        for (std::size_t i = 0; i < keys.size(); ++i)
+            pairs.emplace_back(keys[i], static_cast<std::uint32_t>(i));
+        a.tree = std::make_unique<BTree>(BTree::build(std::move(pairs)));
+        a.kernel = std::make_unique<BtreeKernel>(*a.tree);
+    });
 }
 
 KernelTrace
 emitTrace(Algo algo, DatasetId id, KernelVariant variant,
           const DatapathConfig &dp, const RunnerOptions &opts)
 {
+    const DatasetInfo &info = datasetInfo(id);
     switch (algo) {
       case Algo::Ggnn: {
-        auto &a = ggnnAssets(id, opts);
-        return a.kernel->run(a.queries, variant, dp).trace;
+        const auto &a = ggnnAssets(id);
+        const PointSet queries =
+            generateQueries(info, opts.ggnnQueries);
+        return a.kernel->run(queries, variant, dp).trace;
       }
       case Algo::Flann: {
-        auto &a = pointAssets(id, opts);
-        return a.flannKernel->run(a.queries, variant, dp).trace;
+        const auto &a = pointAssets(id);
+        const PointSet queries =
+            generateQueries(info, opts.pointQueries);
+        return a.flannKernel->run(queries, variant, dp).trace;
       }
       case Algo::Bvhnn: {
-        auto &a = pointAssets(id, opts);
-        return a.bvhKernel->run(a.queries, variant, dp).trace;
+        const auto &a = pointAssets(id);
+        const PointSet queries =
+            generateQueries(info, opts.pointQueries);
+        return a.bvhKernel->run(queries, variant, dp).trace;
       }
       case Algo::Btree: {
-        auto &a = keyAssets(id, opts);
-        return a.kernel->run(a.queries, variant, dp).trace;
+        const auto &a = keyAssets(id);
+        const std::vector<std::uint32_t> queries =
+            generateKeyQueries(info, opts.keyQueries);
+        return a.kernel->run(queries, variant, dp).trace;
       }
     }
     hsu_panic("unknown algo");
@@ -285,6 +300,66 @@ runWorkload(Algo algo, DatasetId dataset, const GpuConfig &gpu,
     out.label = workloadLabel(algo, datasetInfo(dataset));
     out.base = runBaseOnly(algo, dataset, gpu, opts, out.baseStats);
     out.hsu = runHsuOnly(algo, dataset, gpu, opts, out.hsuStats);
+    return out;
+}
+
+std::vector<SimJobResult>
+runJobsParallel(std::vector<SimJob> jobs, unsigned num_threads)
+{
+    ThreadPool pool(num_threads);
+    std::vector<std::future<SimJobResult>> futures;
+    futures.reserve(jobs.size());
+    for (const SimJob &job : jobs) {
+        futures.push_back(pool.submit([job]() {
+            SimJobResult res;
+            switch (job.kind) {
+              case SimJob::Kind::Workload:
+                res.workload = runWorkload(job.algo, job.dataset,
+                                           job.gpu, job.opts);
+                break;
+              case SimJob::Kind::BaseOnly:
+                res.run = runBaseOnly(job.algo, job.dataset, job.gpu,
+                                      job.opts, res.stats);
+                break;
+              case SimJob::Kind::HsuOnly:
+                res.run = runHsuOnly(job.algo, job.dataset, job.gpu,
+                                     job.opts, res.stats);
+                break;
+            }
+            return res;
+        }));
+    }
+    // Collect in submission order: results are deterministic no matter
+    // which worker ran which job.
+    std::vector<SimJobResult> results;
+    results.reserve(futures.size());
+    for (auto &f : futures)
+        results.push_back(f.get());
+    return results;
+}
+
+std::vector<WorkloadResult>
+runWorkloadsParallel(const std::vector<std::pair<Algo, DatasetId>> &work,
+                     const GpuConfig &gpu, double scale,
+                     unsigned num_threads)
+{
+    std::vector<SimJob> jobs;
+    jobs.reserve(work.size());
+    for (const auto &[algo, dataset] : work) {
+        SimJob job;
+        job.kind = SimJob::Kind::Workload;
+        job.algo = algo;
+        job.dataset = dataset;
+        job.gpu = gpu;
+        job.opts = optionsFor(datasetInfo(dataset), scale);
+        jobs.push_back(std::move(job));
+    }
+    std::vector<SimJobResult> res =
+        runJobsParallel(std::move(jobs), num_threads);
+    std::vector<WorkloadResult> out;
+    out.reserve(res.size());
+    for (auto &r : res)
+        out.push_back(std::move(r.workload));
     return out;
 }
 

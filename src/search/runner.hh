@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hh"
 #include "search/ggnn.hh"
@@ -92,6 +94,58 @@ RunResult runHsuOnly(Algo algo, DatasetId dataset, const GpuConfig &gpu,
  */
 RunResult runBaseOnly(Algo algo, DatasetId dataset, const GpuConfig &gpu,
                       const RunnerOptions &opts, StatGroup &stats);
+
+/**
+ * One independent simulation for the parallel executor: a full
+ * workload (baseline + HSU), or a single side for sweeps that vary the
+ * GPU config while holding the other side fixed.
+ */
+struct SimJob
+{
+    enum class Kind : std::uint8_t
+    {
+        Workload, //!< baseline + HSU pair (fills SimJobResult::workload)
+        BaseOnly, //!< fills SimJobResult::run/stats
+        HsuOnly,  //!< fills SimJobResult::run/stats
+    };
+
+    Kind kind = Kind::Workload;
+    Algo algo = Algo::Ggnn;
+    DatasetId dataset{};
+    GpuConfig gpu;
+    RunnerOptions opts;
+};
+
+/** Result slot for one SimJob (which members are set depends on kind). */
+struct SimJobResult
+{
+    WorkloadResult workload; //!< Kind::Workload
+    RunResult run;           //!< Kind::BaseOnly / Kind::HsuOnly
+    StatGroup stats;         //!< Kind::BaseOnly / Kind::HsuOnly
+};
+
+/**
+ * Run independent simulation jobs across a worker pool and return
+ * their results in submission order. Results are bit-identical to
+ * running each job serially: index assets are built once per dataset
+ * under a lock, query generation is a pure function of the dataset
+ * seed, and each simulation owns its StatGroup.
+ *
+ * @param num_threads worker count; 0 -> HSU_JOBS env var, else
+ *                    hardware concurrency
+ */
+std::vector<SimJobResult> runJobsParallel(std::vector<SimJob> jobs,
+                                          unsigned num_threads = 0);
+
+/**
+ * Convenience fan-out for figure fleets: run each (algo, dataset)
+ * workload with options optionsFor(dataset, scale), in parallel,
+ * returning results in input order.
+ */
+std::vector<WorkloadResult>
+runWorkloadsParallel(const std::vector<std::pair<Algo, DatasetId>> &work,
+                     const GpuConfig &gpu, double scale = 1.0,
+                     unsigned num_threads = 0);
 
 /** Datasets an algorithm is evaluated on (Table II usage). */
 std::vector<DatasetId> datasetsForAlgo(Algo algo);

@@ -1,20 +1,64 @@
 #include "sim/gpu.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
 namespace hsu
 {
 
+namespace
+{
+
+bool
+noSkipRequested()
+{
+    const char *v = std::getenv("HSU_NO_SKIP");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+} // namespace
+
 Gpu::Gpu(const GpuConfig &cfg, StatGroup &stats)
-    : cfg_(cfg), stats_(stats)
+    : cfg_(cfg), stats_(stats),
+      statFfCycles_(stats.scalar("sim.ff_cycles"))
 {
     cfg_.finalize();
     mem_ = std::make_unique<MemorySystem>(cfg_.mem, stats_);
     for (unsigned i = 0; i < cfg_.numSms; ++i)
         sms_.push_back(std::make_unique<Sm>(cfg_, i, mem_->l1(i),
                                             stats_));
+}
+
+bool
+Gpu::allDone() const
+{
+    for (const auto &sm : sms_) {
+        if (!sm->done())
+            return false;
+    }
+    return mem_->idle();
+}
+
+Cycle
+Gpu::nextEventCycle(Cycle now) const
+{
+    Cycle next = mem_->nextEventCycle(now);
+    for (const auto &sm : sms_)
+        next = std::min(next, sm->nextEventCycle(now));
+    return next;
+}
+
+void
+Gpu::panicWedged(const char *why, std::uint64_t now)
+{
+    // Dump forensic state before dying: a wedged simulation is always
+    // a simulator bug.
+    for (const auto &[name, value] : stats_.dump())
+        std::fprintf(stderr, "  %s = %.0f\n", name.c_str(), value);
+    hsu_panic(why, " at cycle ", now);
 }
 
 RunResult
@@ -24,30 +68,73 @@ Gpu::run(const KernelTrace &trace, std::uint64_t max_cycles)
     for (std::size_t i = 0; i < trace.warps.size(); ++i)
         sms_[i % sms_.size()]->addWarp(&trace.warps[i]);
 
+    const bool skip = !noSkipRequested();
+    // Adaptive probe backoff: when every probe answers "event next
+    // cycle" the machine is saturated and nextEventCycle() is pure
+    // overhead, so after kDenseStreak consecutive no-gap answers we
+    // single-step kProbeInterval cycles between probes. A gap opening
+    // mid-window is entered at most kProbeInterval cycles late — small
+    // against the DRAM latencies that create gaps — and single-
+    // stepping is always exact, so results are unaffected.
+    constexpr unsigned kDenseStreak = 32;
+    constexpr unsigned kProbeInterval = 32;
+    unsigned dense_streak = 0;
+    unsigned probe_wait = 0;
+    // In no-skip mode, the predicted end of the current eventless gap;
+    // every cycle strictly inside it must confirm the prediction.
+    Cycle predicted_event = 0;
+
     std::uint64_t now = 0;
-    for (;; ++now) {
-        if (now >= max_cycles) {
-            // Dump forensic state before dying: a wedged simulation is
-            // always a simulator bug.
-            for (const auto &[name, value] : stats_.dump())
-                std::fprintf(stderr, "  %s = %.0f\n", name.c_str(),
-                             value);
-            hsu_panic("simulation exceeded cycle bound ", max_cycles);
-        }
+    for (;;) {
+        if (now >= max_cycles)
+            panicWedged("simulation exceeded cycle bound", now);
         mem_->tick(now);
         for (auto &sm : sms_)
             sm->tick(now);
 
-        if ((now & 0x3f) == 0) {
-            bool all_done = true;
-            for (auto &sm : sms_) {
-                if (!sm->done()) {
-                    all_done = false;
-                    break;
-                }
+        // Exact completion: no check-period slack inflating the count.
+        if (allDone())
+            break;
+
+        if (skip && probe_wait > 0) {
+            --probe_wait;
+            ++now;
+            continue;
+        }
+
+        const Cycle next = nextEventCycle(now);
+        if (next == kNeverCycle)
+            panicWedged("no future event but simulation not done", now);
+        hsu_assert(next > now, "next event cycle must be in the future");
+
+        if (skip) {
+            if (next > now + 1) {
+                // The gap (now, next) is provably eventless: account
+                // the per-cycle occupancy stats the skipped ticks would
+                // have recorded, then jump.
+                for (auto &sm : sms_)
+                    sm->fastForwardStats(now, next);
+                statFfCycles_ +=
+                    static_cast<double>(next - now - 1);
+                dense_streak = 0;
+            } else if (++dense_streak >= kDenseStreak) {
+                probe_wait = kProbeInterval;
+                dense_streak = 0;
             }
-            if (all_done && mem_->idle())
-                break;
+            now = next;
+        } else {
+            // Debug mode: single-step, but verify the skipper's claim
+            // that nothing happens strictly inside a predicted gap.
+            if (now + 1 < predicted_event) {
+                if (next != predicted_event) {
+                    panicWedged("event-skip invariant violated: "
+                                "event appeared inside predicted gap",
+                                now);
+                }
+            } else {
+                predicted_event = next;
+            }
+            ++now;
         }
     }
 

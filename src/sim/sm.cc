@@ -163,24 +163,13 @@ Sm::tryIssue(unsigned slot, SubCore &sc, std::uint64_t now,
     hsu_panic("unreachable op type");
 }
 
-void
-Sm::issueSubCore(SubCore &sc, std::uint64_t now)
+unsigned
+Sm::buildCandidateOrder(const SubCore &sc, unsigned order[64],
+                        unsigned &greedy_count) const
 {
-    ++statSlotCycles_;
-
-    if (sc.busyUntil > now) {
-        // Mid-block: the issue port is streaming a compressed
-        // multi-instruction block.
-        ++statBusyCycles_;
-        if (sc.busyOffloadable)
-            ++statOffloadableCycles_;
-        return;
-    }
-
-    // Build the candidate order in fixed scratch storage (this runs
-    // every sub-core cycle — no heap traffic allowed): greedy warp
-    // first (GTO), then the rest oldest-first.
-    unsigned order[64];
+    // Fixed scratch storage (this runs every sub-core cycle — no heap
+    // traffic allowed): greedy warp first (GTO), then the rest
+    // oldest-first.
     unsigned count = 0;
     if (sc.greedy >= 0 &&
         warps_[static_cast<unsigned>(sc.greedy)].active &&
@@ -188,7 +177,7 @@ Sm::issueSubCore(SubCore &sc, std::uint64_t now)
             warps_[static_cast<unsigned>(sc.greedy)].trace->ops.size()) {
         order[count++] = static_cast<unsigned>(sc.greedy);
     }
-    const unsigned greedy_count = count;
+    greedy_count = count;
     for (unsigned slot : sc.slots) {
         const WarpCtx &w = warps_[slot];
         if (!w.active || static_cast<int>(slot) == sc.greedy)
@@ -205,6 +194,26 @@ Sm::issueSubCore(SubCore &sc, std::uint64_t now)
         order[pos] = slot;
         ++count;
     }
+    return count;
+}
+
+void
+Sm::issueSubCore(SubCore &sc, std::uint64_t now)
+{
+    ++statSlotCycles_;
+
+    if (sc.busyUntil > now) {
+        // Mid-block: the issue port is streaming a compressed
+        // multi-instruction block.
+        ++statBusyCycles_;
+        if (sc.busyOffloadable)
+            ++statOffloadableCycles_;
+        return;
+    }
+
+    unsigned order[64];
+    unsigned greedy_count = 0;
+    unsigned count = buildCandidateOrder(sc, order, greedy_count);
     if (cfg_.scheduler == SchedulerPolicy::RoundRobin &&
         count > greedy_count + 1) {
         // Rotate the non-greedy candidates for a loose round-robin.
@@ -274,6 +283,94 @@ Sm::done() const
     if (rt_ && !rt_->drained())
         return false;
     return true;
+}
+
+Cycle
+Sm::nextEventCycle(Cycle now) const
+{
+    // Queued memory traffic contends for the L1 port every cycle.
+    if (lsu_->wantsAccess() || (rt_ && rt_->wantsAccess()))
+        return now + 1;
+
+    Cycle next = rt_ ? rt_->nextEventCycle(now) : kNeverCycle;
+    for (const auto &sc : subCores_) {
+        if (sc.busyUntil > now)
+            next = std::min(next, sc.busyUntil);
+    }
+    for (const auto &w : warps_) {
+        // A finished warp retires when its trailing block completes.
+        if (w.active && w.blockEnd > now)
+            next = std::min(next, w.blockEnd);
+    }
+    return next;
+}
+
+namespace
+{
+
+/** Number of cycles t in [first, last] with t % n == residue. */
+std::uint64_t
+cyclesWithResidue(std::uint64_t first, std::uint64_t last, std::uint64_t n,
+                  std::uint64_t residue)
+{
+    const std::uint64_t start = first + (residue + n - first % n) % n;
+    return start > last ? 0 : (last - start) / n + 1;
+}
+
+} // namespace
+
+void
+Sm::fastForwardStats(Cycle now, Cycle next)
+{
+    hsu_assert(next > now + 1, "fast-forward needs a non-empty gap");
+    const std::uint64_t gap_cycles = next - now - 1;
+    const double gap = static_cast<double>(gap_cycles);
+
+    if (rt_)
+        rt_->fastForwardStats(now, next);
+
+    for (auto &sc : subCores_) {
+        statSlotCycles_ += gap;
+        if (sc.busyUntil > now) {
+            // busyUntil is an event bounding `next`, so the block is
+            // mid-stream for every skipped cycle.
+            statBusyCycles_ += gap;
+            if (sc.busyOffloadable)
+                statOffloadableCycles_ += gap;
+            continue;
+        }
+
+        unsigned order[64];
+        unsigned greedy_count = 0;
+        const unsigned count = buildCandidateOrder(sc, order,
+                                                   greedy_count);
+        if (count == 0) {
+            statIdleCycles_ += gap;
+            continue;
+        }
+        // Candidates exist but none can issue during an eventless gap:
+        // every skipped cycle is a stall, attributed (as in
+        // issueSubCore) to the first candidate tried that cycle.
+        statStallCycles_ += gap;
+        if (cfg_.scheduler == SchedulerPolicy::RoundRobin &&
+            count > greedy_count + 1 && greedy_count == 0) {
+            // The per-cycle rotation (shift = now % n) changes which
+            // blocked warp is tried first; count each head's cycles.
+            for (unsigned s = 0; s < count; ++s) {
+                const WarpCtx &w = warps_[order[s]];
+                if (!w.trace->ops[w.pc].offloadable)
+                    continue;
+                statOffloadableCycles_ += static_cast<double>(
+                    cyclesWithResidue(now + 1, next - 1, count, s));
+            }
+        } else {
+            // GTO, a lone candidate, or a greedy head: the first
+            // candidate is the same every skipped cycle.
+            const WarpCtx &w = warps_[order[0]];
+            if (w.trace->ops[w.pc].offloadable)
+                statOffloadableCycles_ += gap;
+        }
+    }
 }
 
 } // namespace hsu

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cycletime.hh"
 #include "common/stats.hh"
 #include "mem/cache.hh"
 #include "rtunit/rtunit.hh"
@@ -41,6 +42,24 @@ class Sm
 
     /** True when every queued warp has retired and units drained. */
     bool done() const;
+
+    /**
+     * Earliest future cycle at which ticking this SM could do anything,
+     * assuming no memory completion arrives earlier: pending LSU / RT
+     * memory-queue traffic (every cycle), a sub-core instruction block
+     * expiring, a warp's trailing block finishing (retirement), or an
+     * RT-unit internal event. Warps blocked on tokens are woken by
+     * completions, which are events of the memory system / RT unit.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account per-cycle occupancy stats for the eventless gap
+     * (now, next) exactly as the per-cycle loop would have: busy
+     * sub-cores stay busy for the whole gap, stalled sub-cores stay
+     * stalled with unchanged candidates, empty sub-cores stay idle.
+     */
+    void fastForwardStats(Cycle now, Cycle next);
 
     /** Access to the RT unit (may be null in the baseline config). */
     RtUnit *rtUnit() { return rt_.get(); }
@@ -77,6 +96,11 @@ class Sm
     void retireFinished(std::uint64_t now);
     void activatePending();
     void issueSubCore(SubCore &sc, std::uint64_t now);
+
+    /** Fill @p order with the sub-core's issue candidates (greedy warp
+     *  first, then oldest-first) and return the candidate count. */
+    unsigned buildCandidateOrder(const SubCore &sc, unsigned order[64],
+                                 unsigned &greedy_count) const;
 
     const GpuConfig &cfg_;
     unsigned smId_;

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Stat / StatGroup arithmetic and lookup semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(Stats, ScalarArithmetic)
+{
+    StatGroup g;
+    Stat &s = g.scalar("a.b");
+    ++s;
+    s += 4.0;
+    s -= 2.0;
+    EXPECT_DOUBLE_EQ(g.get("a.b"), 3.0);
+    s -= 3.0;
+    EXPECT_DOUBLE_EQ(g.get("a.b"), 0.0);
+}
+
+TEST(Stats, GetOrCreateIsStable)
+{
+    StatGroup g;
+    Stat &a = g.scalar("x");
+    Stat &b = g.scalar("x");
+    EXPECT_EQ(&a, &b);
+    EXPECT_FALSE(g.has("y"));
+    EXPECT_DOUBLE_EQ(g.get("y"), 0.0);
+}
+
+} // namespace
+} // namespace hsu

@@ -116,6 +116,39 @@ TEST(MemSys, ManyParallelMissesDrain)
     EXPECT_EQ(stats.get("dram.accesses"), 16.0);
 }
 
+TEST(MemSys, L2LineCountExcludesStructuralStalls)
+{
+    // Throttle the L2 MSHRs so concurrent misses bounce off it; the
+    // rejected attempts must retry without inflating the line count.
+    MemSysParams p = smallParams();
+    p.l2.mshrEntries = 1;
+    p.l2.mshrMergesPerEntry = 1;
+    StatGroup stats;
+    MemorySystem mem(p, stats);
+
+    int done = 0;
+    std::uint64_t now = 0;
+    for (int i = 0; i < 12; ++i) {
+        // Interleave both L1s so requests pile into the shared
+        // down-channel and hit the crippled L2 back-to-back.
+        while (mem.l1(i % 2).access(0x600000 + i * 4096, false,
+                                    [&] { ++done; }, now) !=
+               CacheOutcome::Miss) {
+            mem.tick(now++);
+        }
+    }
+    for (std::uint64_t i = 0; i < 20000 && !mem.idle(); ++i)
+        mem.tick(now++);
+
+    EXPECT_EQ(done, 12);
+    EXPECT_TRUE(mem.idle());
+    // Every accepted L2 access is exactly one line touched: rejected
+    // attempts never count, retried ones count once.
+    EXPECT_DOUBLE_EQ(stats.get("l2.lines_accessed"),
+                     stats.get("l2.accesses"));
+    EXPECT_DOUBLE_EQ(stats.get("l2.lines_accessed"), 12.0);
+}
+
 TEST(MemSys, LatencyHierarchyOrdering)
 {
     // An L2 hit must be served faster than a DRAM round trip.

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/rng.hh"
+#include "search/runner.hh"
 #include "sim/gpu.hh"
 
 namespace hsu
@@ -157,6 +160,130 @@ TEST(Determinism, WarpBufferMonotoneAtSmallSizes)
         const RunResult r = simulateKernel(cfg, trace, stats);
         EXPECT_LE(r.cycles, prev) << "wb=" << wb;
         prev = r.cycles;
+    }
+}
+
+KernelTrace
+loadStallTrace(unsigned warps, std::uint64_t seed)
+{
+    // Every warp alternates load -> dependent ALU, so all warps stall
+    // on DRAM together and leave multi-candidate eventless gaps; the
+    // mixed offloadable flags make stall attribution order-sensitive.
+    Rng rng(seed);
+    KernelTrace kt;
+    for (unsigned w = 0; w < warps; ++w) {
+        kt.warps.emplace_back();
+        TraceBuilder tb(kt.warps.back());
+        for (unsigned i = 0; i < 12; ++i) {
+            const auto tok = tb.loadPattern(
+                0x100000 + rng.nextBounded(1 << 20) * 64, 4, 4);
+            tb.alu(1 + (w % 3), kFullMask,
+                   TraceBuilder::tokenMask(tok), (w + i) % 2 == 0);
+        }
+    }
+    return kt;
+}
+
+void
+expectSameDump(const StatGroup &a, const StatGroup &b,
+               const std::string &ignore = "")
+{
+    const auto da = a.dump();
+    const auto db = b.dump();
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t i = 0; i < da.size(); ++i) {
+        ASSERT_EQ(da[i].first, db[i].first);
+        if (da[i].first == ignore)
+            continue;
+        EXPECT_EQ(da[i].second, db[i].second) << da[i].first;
+    }
+}
+
+TEST(Determinism, FastForwardMatchesPerCycleLoop)
+{
+    // Bit-identical counters with idle-cycle skipping on and off; only
+    // the skip diagnostic itself may differ. HSU_NO_SKIP additionally
+    // asserts each predicted gap really was eventless.
+    // Sparse occupancy (one warp per SM) so dependent loads leave
+    // DRAM-latency gaps the skipper can actually jump. Both scheduler
+    // policies: RoundRobin rotates its stall-attribution head every
+    // cycle, the hardest case for the skipped-gap stat compensation.
+    for (const auto &[warps, sms] : {std::pair{2u, 2u},
+                                     // 2 warps/sub-core: stalled gaps
+                                     // with a multi-candidate order.
+                                     std::pair{8u, 1u}})
+    for (const auto policy :
+         {SchedulerPolicy::Gto, SchedulerPolicy::RoundRobin}) {
+        const KernelTrace trace = sms == 1
+            ? loadStallTrace(warps, 41)
+            : mixedTrace(warps, 41);
+        GpuConfig cfg;
+        cfg.numSms = sms;
+        cfg.scheduler = policy;
+        cfg.finalize();
+
+        StatGroup skip_stats, noskip_stats;
+        const RunResult skip = simulateKernel(cfg, trace, skip_stats);
+        ASSERT_EQ(setenv("HSU_NO_SKIP", "1", 1), 0);
+        const RunResult noskip =
+            simulateKernel(cfg, trace, noskip_stats);
+        ASSERT_EQ(unsetenv("HSU_NO_SKIP"), 0);
+
+        EXPECT_EQ(skip.cycles, noskip.cycles);
+        EXPECT_GT(skip_stats.get("sim.ff_cycles"), 0.0);
+        EXPECT_EQ(noskip_stats.get("sim.ff_cycles"), 0.0);
+        expectSameDump(skip_stats, noskip_stats, "sim.ff_cycles");
+    }
+}
+
+TEST(Determinism, ParallelRunnerMatchesSerial)
+{
+    // The fan-out executor must be a pure scheduling change: same
+    // cycles and same full counter dumps as calling the runner
+    // serially, regardless of worker count or job order.
+    GpuConfig gpu;
+    gpu.numSms = 2;
+    gpu.finalize();
+    RunnerOptions tiny;
+    tiny.ggnnQueries = 32;
+    tiny.pointQueries = 64;
+    tiny.keyQueries = 64;
+
+    std::vector<SimJob> jobs;
+    for (const auto &[algo, id] :
+         {std::pair{Algo::Btree, DatasetId::BTree10k},
+          std::pair{Algo::Bvhnn, DatasetId::Random10k},
+          std::pair{Algo::Flann, DatasetId::Bunny},
+          std::pair{Algo::Ggnn, DatasetId::Sift10k}}) {
+        SimJob job;
+        job.kind = SimJob::Kind::Workload;
+        job.algo = algo;
+        job.dataset = id;
+        job.gpu = gpu;
+        job.opts = tiny;
+        jobs.push_back(job);
+        job.kind = SimJob::Kind::HsuOnly;
+        jobs.push_back(job);
+    }
+
+    const std::vector<SimJobResult> par = runJobsParallel(jobs, 4);
+    ASSERT_EQ(par.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SimJob &job = jobs[i];
+        if (job.kind == SimJob::Kind::Workload) {
+            const WorkloadResult serial =
+                runWorkload(job.algo, job.dataset, job.gpu, job.opts);
+            EXPECT_EQ(serial.base.cycles, par[i].workload.base.cycles);
+            EXPECT_EQ(serial.hsu.cycles, par[i].workload.hsu.cycles);
+            expectSameDump(serial.baseStats, par[i].workload.baseStats);
+            expectSameDump(serial.hsuStats, par[i].workload.hsuStats);
+        } else {
+            StatGroup stats;
+            const RunResult serial = runHsuOnly(
+                job.algo, job.dataset, job.gpu, job.opts, stats);
+            EXPECT_EQ(serial.cycles, par[i].run.cycles);
+            expectSameDump(stats, par[i].stats);
+        }
     }
 }
 

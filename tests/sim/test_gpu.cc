@@ -44,6 +44,22 @@ TEST(GpuTiming, AluOnlyWarpTakesAboutCountCycles)
     EXPECT_DOUBLE_EQ(stats.get("sm.instrs_issued"), 1000.0);
 }
 
+TEST(GpuTiming, CompletionDetectedOnExactCycle)
+{
+    // A lone ALU block of count c occupies its sub-core for cycles
+    // [0, c) and the warp retires on cycle c: exactly c+1 simulated
+    // cycles, with no completion-check period rounding the count up.
+    for (const unsigned c : {1u, 5u, 63u, 64u, 200u}) {
+        StatGroup stats;
+        KernelTrace trace;
+        trace.warps.emplace_back();
+        TraceBuilder tb(trace.warps[0]);
+        tb.alu(c);
+        const RunResult r = simulateKernel(tinyConfig(), trace, stats);
+        EXPECT_EQ(r.cycles, c + 1) << "c=" << c;
+    }
+}
+
 TEST(GpuTiming, TwoWarpsShareOneSubCore)
 {
     // Both warps land on sub-core slots of the same SM; four sub-cores
