@@ -12,11 +12,23 @@
  * baseline.
  */
 
+#include <memory>
+
 #include "bench_common.hh"
 #include "search/bvhnn.hh"
-#include "sim/gpu.hh"
 
 using namespace hsu;
+
+namespace
+{
+
+struct CaseInfo
+{
+    std::string label;
+    double boxTestRatio = 0.0; //!< BVH4 box tests / binary box tests
+};
+
+} // namespace
 
 int
 main()
@@ -25,10 +37,10 @@ main()
     GpuConfig base_cfg = cfg;
     base_cfg.rtUnitEnabled = false;
 
-    Table t("Ablation: BVH-NN binary vs BVH4 traversal (HSU speedup "
-            "over non-RT baseline)",
-            {"Dataset", "binary", "BVH4", "BVH4 box tests / binary"});
-
+    // Emission is serial per dataset; the three sims per dataset are
+    // independent and fan across the worker pool.
+    std::vector<CaseInfo> cases;
+    std::vector<SimJob> jobs;
     for (const DatasetId id : datasetsForAlgo(Algo::Bvhnn)) {
         const DatasetInfo &info = datasetInfo(id);
         const RunnerOptions opts = bench::benchOptions(info);
@@ -41,10 +53,10 @@ main()
         BvhnnKernel binary(points, bvh, BvhnnConfig{radius, false});
         BvhnnKernel wide(points, bvh, BvhnnConfig{radius, true});
 
-        const auto base_run =
+        auto base_run =
             binary.run(queries, KernelVariant::Baseline);
-        const auto bin_run = binary.run(queries, KernelVariant::Hsu);
-        const auto wide_run = wide.run(queries, KernelVariant::Hsu);
+        auto bin_run = binary.run(queries, KernelVariant::Hsu);
+        auto wide_run = wide.run(queries, KernelVariant::Hsu);
 
         // Results must agree between tree shapes.
         for (std::size_t q = 0; q < queries.size(); ++q) {
@@ -55,22 +67,44 @@ main()
             }
         }
 
-        StatGroup sb, s2, s4;
-        const RunResult base =
-            simulateKernel(base_cfg, base_run.trace, sb);
-        const RunResult bin = simulateKernel(cfg, bin_run.trace, s2);
-        const RunResult w4 = simulateKernel(cfg, wide_run.trace, s4);
+        CaseInfo c;
+        c.label = workloadLabel(Algo::Bvhnn, info);
+        c.boxTestRatio = static_cast<double>(wide_run.boxTests) /
+                         static_cast<double>(bin_run.boxTests);
+        cases.push_back(std::move(c));
 
-        t.addRow({workloadLabel(Algo::Bvhnn, info),
+        SimJob job;
+        job.kind = SimJob::Kind::Trace;
+        job.gpu = base_cfg;
+        job.trace = std::make_shared<const KernelTrace>(
+            std::move(base_run.trace));
+        jobs.push_back(job);
+        job.gpu = cfg;
+        job.trace = std::make_shared<const KernelTrace>(
+            std::move(bin_run.trace));
+        jobs.push_back(job);
+        job.trace = std::make_shared<const KernelTrace>(
+            std::move(wide_run.trace));
+        jobs.push_back(std::move(job));
+    }
+    const std::vector<SimJobResult> results =
+        runJobsParallel(std::move(jobs));
+
+    Table t("Ablation: BVH-NN binary vs BVH4 traversal (HSU speedup "
+            "over non-RT baseline)",
+            {"Dataset", "binary", "BVH4", "BVH4 box tests / binary"});
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const RunResult &base = results[3 * i].run;
+        const RunResult &bin = results[3 * i + 1].run;
+        const RunResult &w4 = results[3 * i + 2].run;
+        t.addRow({cases[i].label,
                   Table::num(static_cast<double>(base.cycles) /
                                  static_cast<double>(bin.cycles),
                              3),
                   Table::num(static_cast<double>(base.cycles) /
                                  static_cast<double>(w4.cycles),
                              3),
-                  Table::num(static_cast<double>(wide_run.boxTests) /
-                                 static_cast<double>(bin_run.boxTests),
-                             3)});
+                  Table::num(cases[i].boxTestRatio, 3)});
     }
     t.print(std::cout);
     return 0;

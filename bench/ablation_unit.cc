@@ -18,35 +18,51 @@ main()
         {Algo::Btree, DatasetId::BTree10k},
     };
 
+    GpuConfig no_merge = bench::defaultGpu();
+    no_merge.rtFetchMerging = false;
+    GpuConfig rr = bench::defaultGpu();
+    rr.scheduler = SchedulerPolicy::RoundRobin;
+    const GpuConfig variants[] = {bench::defaultGpu(), no_merge, rr};
+
+    // One baseline + three HSU-variant sims per workload, all
+    // independent: fan the whole grid across the worker pool.
+    std::vector<SimJob> jobs;
+    for (const auto &[algo, id] : cases) {
+        const RunnerOptions opts = bench::benchOptions(datasetInfo(id));
+        SimJob job;
+        job.algo = algo;
+        job.dataset = id;
+        job.opts = opts;
+        job.gpu = bench::defaultGpu();
+        job.kind = SimJob::Kind::BaseOnly;
+        jobs.push_back(job);
+        job.kind = SimJob::Kind::HsuOnly;
+        for (const GpuConfig &cfg : variants) {
+            job.gpu = cfg;
+            jobs.push_back(job);
+        }
+    }
+    const std::vector<SimJobResult> results =
+        runJobsParallel(std::move(jobs));
+
     Table t("Ablation: fetch merging and scheduler policy (HSU speedup "
             "over the matching non-RT baseline)",
             {"Workload", "GTO+merge (default)", "GTO, no merge",
              "RR+merge"});
 
+    std::size_t slot = 0;
     for (const auto &[algo, id] : cases) {
-        const DatasetInfo &info = datasetInfo(id);
-        const RunnerOptions opts = bench::benchOptions(info);
-
-        StatGroup sb;
-        const RunResult base = runBaseOnly(algo, id, bench::defaultGpu(),
-                                           opts, sb);
-        auto speedup_with = [&](GpuConfig cfg) {
-            StatGroup s;
-            const RunResult r = runHsuOnly(algo, id, cfg, opts, s);
+        const RunResult &base = results[slot++].run;
+        auto speedup = [&](const RunResult &r) {
             return static_cast<double>(base.cycles) /
                    static_cast<double>(r.cycles);
         };
-
-        GpuConfig dflt = bench::defaultGpu();
-        GpuConfig no_merge = dflt;
-        no_merge.rtFetchMerging = false;
-        GpuConfig rr = dflt;
-        rr.scheduler = SchedulerPolicy::RoundRobin;
-
-        t.addRow({workloadLabel(algo, info),
-                  Table::num(speedup_with(dflt), 3),
-                  Table::num(speedup_with(no_merge), 3),
-                  Table::num(speedup_with(rr), 3)});
+        const double dflt = speedup(results[slot++].run);
+        const double merge_off = speedup(results[slot++].run);
+        const double round_robin = speedup(results[slot++].run);
+        t.addRow({workloadLabel(algo, datasetInfo(id)),
+                  Table::num(dflt, 3), Table::num(merge_off, 3),
+                  Table::num(round_robin, 3)});
     }
     t.print(std::cout);
     return 0;

@@ -10,9 +10,11 @@
 #ifndef HSU_BENCH_BENCH_COMMON_HH
 #define HSU_BENCH_BENCH_COMMON_HH
 
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "search/runner.hh"
 
@@ -62,16 +64,24 @@ runAllWorkloads()
                                 quickScale());
 }
 
-/** Geometric-mean helper for summary rows. */
+/** Geometric-mean helper for summary rows. Non-positive entries have
+ *  no logarithm; they are skipped (with a warning) rather than poisoning
+ *  the whole mean with a NaN, which matters when a degenerate sweep
+ *  point reports a 0.0 speedup. */
 inline double
 geomean(const std::vector<double> &vals)
 {
-    if (vals.empty())
-        return 0.0;
     double log_sum = 0.0;
-    for (const double v : vals)
+    std::size_t n = 0;
+    for (const double v : vals) {
+        if (v <= 0.0 || !std::isfinite(v)) {
+            hsu_warn("geomean: skipping non-positive value ", v);
+            continue;
+        }
         log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(vals.size()));
+        ++n;
+    }
+    return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
 }
 
 } // namespace hsu::bench

@@ -7,9 +7,10 @@
  * lookup speedup and a 9:1 leaf-memory advantage at 163,840 lookups.
  */
 
+#include <memory>
+
 #include "bench_common.hh"
 #include "search/rtindex.hh"
-#include "sim/gpu.hh"
 #include "workloads/datasets.hh"
 
 using namespace hsu;
@@ -31,11 +32,23 @@ main()
             "native keys (HSU); paper: +36.6%, 9:1 memory",
             {"Variant", "Leaf bytes/key", "Cycles", "Speedup"});
 
-    StatGroup s_tri, s_key;
-    const auto run_tri = index.run(probes, KernelVariant::Baseline);
-    const RunResult r_tri = simulateKernel(cfg, run_tri.trace, s_tri);
-    const auto run_key = index.run(probes, KernelVariant::Hsu);
-    const RunResult r_key = simulateKernel(cfg, run_key.trace, s_key);
+    auto run_tri = index.run(probes, KernelVariant::Baseline);
+    auto run_key = index.run(probes, KernelVariant::Hsu);
+
+    // Both variants' sims are independent: fan them across the pool.
+    std::vector<SimJob> jobs(2);
+    jobs[0].kind = SimJob::Kind::Trace;
+    jobs[0].gpu = cfg;
+    jobs[0].trace =
+        std::make_shared<const KernelTrace>(std::move(run_tri.trace));
+    jobs[1].kind = SimJob::Kind::Trace;
+    jobs[1].gpu = cfg;
+    jobs[1].trace =
+        std::make_shared<const KernelTrace>(std::move(run_key.trace));
+    const std::vector<SimJobResult> results =
+        runJobsParallel(std::move(jobs));
+    const RunResult &r_tri = results[0].run;
+    const RunResult &r_key = results[1].run;
 
     t.addRow({"triangle keys (RT)",
               std::to_string(run_tri.leafBytesPerKey),

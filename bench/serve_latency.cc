@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Online serving: latency vs offered load, HSU vs non-RT baseline.
+ *
+ * Beyond the paper: the paper (and our fig* fleet) reports closed-loop
+ * batch throughput; this bench drives the same simulated hardware with
+ * open-loop Poisson traffic through the src/serve subsystem and
+ * reports the latency/QPS curve — p50/p99 and shed fraction at each
+ * offered load, for the HSU GPU and the non-RT baseline on identical
+ * request streams.
+ *
+ * Offered loads are multiples of each workload's calibrated *baseline*
+ * capacity (full-batch service rate), so both variants face the same
+ * absolute QPS grid. Expected shape: both variants track offered load
+ * when unsaturated; the baseline's p99 blows up and its achieved QPS
+ * flattens near multiplier 1.0, while the HSU — whose service time per
+ * batch is smaller by the paper's speedup — keeps a low p99 and bends
+ * only at correspondingly higher offered load (knee shifts right).
+ *
+ * Output is bit-identical across HSU_JOBS settings and repeated runs:
+ * arrivals are seeded, batching is FIFO-deterministic, and batch
+ * service times are pure functions of batch contents.
+ */
+
+#include "bench_common.hh"
+#include "serve/server.hh"
+
+using namespace hsu;
+
+namespace
+{
+
+/** Representative (small) dataset per algorithm class. */
+const std::pair<Algo, DatasetId> kServeWorkloads[] = {
+    {Algo::Ggnn, DatasetId::Sift10k},
+    {Algo::Flann, DatasetId::Bunny},
+    {Algo::Bvhnn, DatasetId::Random10k},
+    {Algo::Btree, DatasetId::BTree10k},
+};
+
+/**
+ * Calibrate one workload's baseline capacity: simulated cycles of a
+ * full batch on the non-RT GPU, turned into a saturation QPS for the
+ * whole server (numInstances concurrent batches).
+ */
+double
+baselineCapacityQps(Algo algo, DatasetId dataset,
+                    const serve::ServerConfig &cfg)
+{
+    GpuConfig base = cfg.gpu;
+    base.rtUnitEnabled = false;
+    std::vector<std::uint32_t> ids(cfg.batch.maxBatch);
+    for (std::uint32_t i = 0; i < ids.size(); ++i)
+        ids[i] = i;
+    const KernelTrace trace =
+        emitBatchTrace(algo, dataset, KernelVariant::Baseline,
+                       base.datapath, ids, cfg.queryPoolSize);
+    StatGroup stats;
+    const std::uint64_t cycles =
+        simulateKernel(base, trace, stats).cycles +
+        cfg.launchOverheadCycles;
+    return serve::kClockHz *
+           static_cast<double>(cfg.batch.maxBatch * cfg.numInstances) /
+           static_cast<double>(cycles);
+}
+
+/**
+ * Batch width per algorithm. GGNN maps one warp per query, so 32
+ * requests already launch 32 warps; the point/key kernels pack 32
+ * queries per warp and only show their HSU advantage once a launch is
+ * tens of warps wide (the offline benches use 4096/8192 queries) —
+ * batch caps are sized so a full batch meaningfully occupies the GPU.
+ */
+unsigned
+maxBatchFor(Algo algo)
+{
+    switch (algo) {
+      case Algo::Ggnn:
+        return 32;
+      case Algo::Flann:
+        return 256;
+      case Algo::Bvhnn:
+        return 1024;
+      case Algo::Btree:
+        return 512;
+    }
+    return 32;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool quick = quickScale() < 1.0;
+    // ~8 full batches of traffic per sweep point (2 in quick mode).
+    const std::size_t batches_per_point = quick ? 2 : 8;
+    const std::vector<double> load_multipliers =
+        quick ? std::vector<double>{0.5, 1.2}
+              : std::vector<double>{0.3, 0.6, 0.9, 1.2, 1.5};
+
+    Table t("Online serving: open-loop Poisson traffic, HSU vs non-RT "
+            "baseline (p50/p99 at 1 GHz; load grid = multiples of the "
+            "baseline full-batch capacity)",
+            {"Algo", "Variant", "Load x", "Offered QPS", "Achieved QPS",
+             "p50 us", "p99 us", "Shed", "Degraded"});
+
+    for (const auto &[algo, dataset] : kServeWorkloads) {
+        serve::ServerConfig cfg;
+        cfg.gpu = bench::defaultGpu();
+        cfg.numInstances = 2;
+        cfg.queryPoolSize = 1024;
+        cfg.batch.maxBatch = maxBatchFor(algo);
+        cfg.degrade.highWater = 2 * cfg.batch.maxBatch;
+        cfg.degrade.shedWater = 16 * cfg.batch.maxBatch;
+
+        const std::size_t requests_per_point =
+            batches_per_point * cfg.batch.maxBatch;
+        const double cap_qps = baselineCapacityQps(algo, dataset, cfg);
+
+        for (const double mult : load_multipliers) {
+            const double offered_qps = mult * cap_qps;
+
+            serve::ArrivalConfig arr;
+            arr.process = serve::ArrivalProcess::Poisson;
+            arr.ratePerCycle =
+                serve::ArrivalConfig::ratePerCycleFromQps(offered_qps);
+            arr.queryPoolSize = cfg.queryPoolSize;
+            // SLO: generous multiple of an unloaded baseline batch, so
+            // only genuine queueing blowups shed.
+            arr.deadlineCycles = static_cast<Cycle>(
+                40.0 * serve::kClockHz *
+                static_cast<double>(cfg.batch.maxBatch *
+                                    cfg.numInstances) /
+                cap_qps);
+            arr.seed = 0xbeef + static_cast<std::uint64_t>(mult * 100);
+            const std::vector<serve::Request> stream =
+                serve::ArrivalGenerator(arr, algo, dataset)
+                    .generate(requests_per_point);
+
+            for (const bool hsu_on : {false, true}) {
+                serve::ServerConfig point = cfg;
+                point.gpu.rtUnitEnabled = hsu_on;
+                serve::Server server(algo, dataset, point);
+                const serve::ServeReport rep = server.run(stream);
+
+                t.addRow({toString(algo), hsu_on ? "HSU" : "base",
+                          Table::num(mult, 2),
+                          Table::num(offered_qps, 0),
+                          Table::num(rep.achievedQps(), 0),
+                          Table::num(rep.latencyUs(50.0), 1),
+                          Table::num(rep.latencyUs(99.0), 1),
+                          Table::pct(rep.shedFraction()),
+                          Table::pct(
+                              rep.offered
+                                  ? static_cast<double>(rep.degraded) /
+                                        static_cast<double>(rep.offered)
+                                  : 0.0)});
+            }
+        }
+    }
+    t.print(std::cout);
+    std::printf("batches/point=%zu instances=2 "
+                "maxBatch=32(GGNN)/256(FLANN)/1024(BVH-NN)/512(B+tree) "
+                "maxWait=50000\n",
+                batches_per_point);
+    return 0;
+}

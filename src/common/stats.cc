@@ -1,7 +1,110 @@
 #include "common/stats.hh"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
 namespace hsu
 {
+
+Histogram::Histogram(unsigned buckets_per_decade)
+    : bucketsPerDecade_(buckets_per_decade)
+{
+    hsu_assert(buckets_per_decade >= 1, "histogram needs >= 1 bucket/decade");
+}
+
+int
+Histogram::bucketIndex(double v) const
+{
+    return static_cast<int>(
+        std::floor(std::log10(v) * bucketsPerDecade_));
+}
+
+double
+Histogram::bucketLo(double v) const
+{
+    return std::pow(10.0, static_cast<double>(bucketIndex(v)) /
+                              bucketsPerDecade_);
+}
+
+double
+Histogram::bucketHi(double v) const
+{
+    return std::pow(10.0, static_cast<double>(bucketIndex(v) + 1) /
+                              bucketsPerDecade_);
+}
+
+void
+Histogram::add(double v)
+{
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v > max_)
+        max_ = v;
+    if (v <= 0.0) {
+        ++underflow_;
+        return;
+    }
+    if (count_ - underflow_ == 1 || v < min_)
+        min_ = v;
+    ++buckets_[bucketIndex(v)];
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    hsu_assert(bucketsPerDecade_ == other.bucketsPerDecade_,
+               "merging histograms of different resolution");
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0 || other.max_ > max_)
+        max_ = other.max_;
+    if (other.count_ > other.underflow_ &&
+        (count_ == underflow_ || other.min_ < min_)) {
+        min_ = other.min_;
+    }
+    count_ += other.count_;
+    underflow_ += other.underflow_;
+    sum_ += other.sum_;
+    for (const auto &[idx, n] : other.buckets_)
+        buckets_[idx] += n;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    hsu_assert(p >= 0.0 && p <= 100.0, "percentile out of range: ", p);
+    if (count_ == 0)
+        return 0.0;
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p / 100.0 * static_cast<double>(count_))));
+    if (rank <= underflow_)
+        return 0.0;
+    if (rank >= count_)
+        return max_; // the top rank is tracked exactly
+    std::uint64_t seen = underflow_;
+    for (const auto &[idx, n] : buckets_) {
+        seen += n;
+        if (seen >= rank) {
+            // Geometric bucket midpoint, clamped to observed extremes.
+            const double mid = std::pow(
+                10.0, (static_cast<double>(idx) + 0.5) /
+                          bucketsPerDecade_);
+            return std::clamp(mid, min_, max_);
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    buckets_.clear();
+    count_ = underflow_ = 0;
+    min_ = max_ = sum_ = 0.0;
+}
 
 Stat &
 StatGroup::scalar(const std::string &name)
@@ -49,6 +152,19 @@ StatGroup::dump() const
     for (const auto &kv : stats_)
         out.emplace_back(kv.first, kv.second.value());
     return out;
+}
+
+Histogram &
+StatGroup::histogram(const std::string &name)
+{
+    return histograms_[name];
+}
+
+const Histogram *
+StatGroup::findHistogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
 }
 
 } // namespace hsu

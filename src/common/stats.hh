@@ -4,7 +4,9 @@
  *
  * Simulator components register scalar counters and distributions in a
  * StatGroup; experiment harnesses read them back by name to build the
- * rows of each reproduced table/figure.
+ * rows of each reproduced table/figure. The serving subsystem records
+ * per-request latencies into log-bucketed Histograms for percentile
+ * (p50/p95/p99) reporting.
  */
 
 #ifndef HSU_COMMON_STATS_HH
@@ -37,6 +39,79 @@ class Stat
 };
 
 /**
+ * Log-bucketed distribution of positive samples.
+ *
+ * Buckets are geometric: sample v lands in bucket
+ * floor(log10(v) * bucketsPerDecade), so relative resolution is a
+ * constant factor 10^(1/bucketsPerDecade) across the whole range
+ * (latencies span queue-empty microseconds to saturated milliseconds).
+ * Non-positive samples are counted in a dedicated underflow bucket.
+ * Storage is a sparse map, so memory tracks the occupied dynamic range,
+ * not its extent.
+ *
+ * percentile(p) uses the nearest-rank definition: the smallest sample
+ * value s such that at least ceil(p/100 * count) samples are <= s,
+ * resolved to the geometric midpoint of its bucket and clamped to the
+ * exact observed [min, max]. The estimate is therefore within a factor
+ * 10^(1/bucketsPerDecade) of the exact order statistic; the top rank
+ * (p = 100) reports the exact observed maximum.
+ */
+class Histogram
+{
+  public:
+    /** @param buckets_per_decade bucket resolution (default: ~15% wide) */
+    explicit Histogram(unsigned buckets_per_decade = 16);
+
+    /** Record one sample (non-positive values hit the underflow bucket). */
+    void add(double v);
+
+    /** Fold another histogram in. @pre same bucketsPerDecade. */
+    void merge(const Histogram &other);
+
+    /** Total samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Samples in the underflow (v <= 0) bucket. */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** Exact smallest positive sample (0 when none). */
+    double min() const { return count_ > underflow_ ? min_ : 0.0; }
+
+    /** Exact largest sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const
+    { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+    /** Nearest-rank percentile estimate; @p p in [0, 100]. */
+    double percentile(double p) const;
+
+    unsigned bucketsPerDecade() const { return bucketsPerDecade_; }
+
+    /** Lower/upper value bounds of the bucket holding @p v (tests). */
+    double bucketLo(double v) const;
+    double bucketHi(double v) const;
+
+    /** Reset to empty. */
+    void reset();
+
+  private:
+    int bucketIndex(double v) const;
+
+    unsigned bucketsPerDecade_;
+    std::map<int, std::uint64_t> buckets_; //!< positive samples only
+    std::uint64_t count_ = 0;
+    std::uint64_t underflow_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
  * Hierarchical collection of named statistics.
  *
  * Names are dotted paths ("sm0.l1d.accesses"). Components hold references
@@ -64,8 +139,15 @@ class StatGroup
     /** Snapshot of all (name, value) pairs in name order. */
     std::vector<std::pair<std::string, double>> dump() const;
 
+    /** Get-or-create the histogram with the given dotted name. */
+    Histogram &histogram(const std::string &name);
+
+    /** Read-only histogram lookup; nullptr for unknown names. */
+    const Histogram *findHistogram(const std::string &name) const;
+
   private:
     std::map<std::string, Stat> stats_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace hsu

@@ -168,17 +168,17 @@ struct AssetSlot
     Assets assets;
 };
 
-template <typename Assets, typename Build>
+template <typename Assets, typename Key, typename Build>
 const Assets &
-cachedAssets(DatasetId id, Build build)
+cachedAssets(const Key &key, Build build)
 {
     static std::mutex mutex;
-    static std::map<DatasetId, std::unique_ptr<AssetSlot<Assets>>> cache;
+    static std::map<Key, std::unique_ptr<AssetSlot<Assets>>> cache;
 
     AssetSlot<Assets> *slot;
     {
         std::lock_guard lock(mutex);
-        auto &entry = cache[id];
+        auto &entry = cache[key];
         if (!entry)
             entry = std::make_unique<AssetSlot<Assets>>();
         slot = entry.get(); // slots are pinned; the map may rehash
@@ -231,6 +231,30 @@ keyAssets(DatasetId id)
     });
 }
 
+/**
+ * Deterministic per-dataset serving query pool: the fixed universe of
+ * queries online requests draw from, keyed by (dataset, pool size) so
+ * different server configs never alias.
+ */
+struct ServePool
+{
+    PointSet points;                 //!< HighDim / Point3d datasets
+    std::vector<std::uint32_t> keys; //!< Keys datasets
+};
+
+const ServePool &
+servePool(DatasetId id, std::size_t pool_size)
+{
+    const auto key = std::make_pair(id, pool_size);
+    return cachedAssets<ServePool>(key, [id, pool_size](ServePool &p) {
+        const DatasetInfo &info = datasetInfo(id);
+        if (info.kind == DatasetKind::Keys)
+            p.keys = generateKeyQueries(info, pool_size);
+        else
+            p.points = generateQueries(info, pool_size);
+    });
+}
+
 KernelTrace
 emitTrace(Algo algo, DatasetId id, KernelVariant variant,
           const DatapathConfig &dp, const RunnerOptions &opts)
@@ -266,6 +290,60 @@ emitTrace(Algo algo, DatasetId id, KernelVariant variant,
 }
 
 } // namespace
+
+KernelTrace
+emitBatchTrace(Algo algo, DatasetId dataset, KernelVariant variant,
+               const DatapathConfig &dp,
+               const std::vector<std::uint32_t> &query_ids,
+               std::size_t pool_size, const ServeKnobs &knobs)
+{
+    hsu_assert(!query_ids.empty(), "empty serve batch");
+    const ServePool &pool = servePool(dataset, pool_size);
+
+    auto gather_points = [&]() {
+        PointSet batch(pool.points.dim());
+        batch.reserve(query_ids.size());
+        for (const std::uint32_t q : query_ids) {
+            hsu_assert(q < pool.points.size(),
+                       "serve query id out of pool: ", q);
+            batch.add(pool.points[q]);
+        }
+        return batch;
+    };
+
+    switch (algo) {
+      case Algo::Ggnn: {
+        const auto &a = ggnnAssets(dataset);
+        // Kernels are cheap to construct (address layouts only), so a
+        // degraded batch just instantiates one with the shrunk knobs.
+        GgnnConfig cfg;
+        cfg.ef = knobs.ggnnEf;
+        cfg.k = knobs.ggnnK;
+        const GgnnKernel kernel(*a.graph, cfg);
+        return kernel.run(gather_points(), variant, dp).trace;
+      }
+      case Algo::Flann: {
+        const auto &a = pointAssets(dataset);
+        return a.flannKernel->run(gather_points(), variant, dp).trace;
+      }
+      case Algo::Bvhnn: {
+        const auto &a = pointAssets(dataset);
+        return a.bvhKernel->run(gather_points(), variant, dp).trace;
+      }
+      case Algo::Btree: {
+        const auto &a = keyAssets(dataset);
+        std::vector<std::uint32_t> batch;
+        batch.reserve(query_ids.size());
+        for (const std::uint32_t q : query_ids) {
+            hsu_assert(q < pool.keys.size(),
+                       "serve query id out of pool: ", q);
+            batch.push_back(pool.keys[q]);
+        }
+        return a.kernel->run(batch, variant, dp).trace;
+      }
+    }
+    hsu_panic("unknown algo");
+}
 
 RunResult
 runHsuOnly(Algo algo, DatasetId dataset, const GpuConfig &gpu,
@@ -324,6 +402,10 @@ runJobsParallel(std::vector<SimJob> jobs, unsigned num_threads)
               case SimJob::Kind::HsuOnly:
                 res.run = runHsuOnly(job.algo, job.dataset, job.gpu,
                                      job.opts, res.stats);
+                break;
+              case SimJob::Kind::Trace:
+                hsu_assert(job.trace, "Kind::Trace job without a trace");
+                res.run = simulateKernel(job.gpu, *job.trace, res.stats);
                 break;
             }
             return res;

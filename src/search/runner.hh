@@ -9,6 +9,7 @@
 #define HSU_SEARCH_RUNNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -97,8 +98,9 @@ RunResult runBaseOnly(Algo algo, DatasetId dataset, const GpuConfig &gpu,
 
 /**
  * One independent simulation for the parallel executor: a full
- * workload (baseline + HSU), or a single side for sweeps that vary the
- * GPU config while holding the other side fixed.
+ * workload (baseline + HSU), a single side for sweeps that vary the
+ * GPU config while holding the other side fixed, or a caller-emitted
+ * trace (ablations over custom kernels/trees).
  */
 struct SimJob
 {
@@ -107,6 +109,7 @@ struct SimJob
         Workload, //!< baseline + HSU pair (fills SimJobResult::workload)
         BaseOnly, //!< fills SimJobResult::run/stats
         HsuOnly,  //!< fills SimJobResult::run/stats
+        Trace,    //!< simulate `trace` under `gpu` (run/stats)
     };
 
     Kind kind = Kind::Workload;
@@ -114,6 +117,9 @@ struct SimJob
     DatasetId dataset{};
     GpuConfig gpu;
     RunnerOptions opts;
+    /** Kind::Trace only: the prebuilt trace to simulate (shared so a
+     *  bench can submit the same emission under several configs). */
+    std::shared_ptr<const KernelTrace> trace;
 };
 
 /** Result slot for one SimJob (which members are set depends on kind). */
@@ -146,6 +152,42 @@ std::vector<WorkloadResult>
 runWorkloadsParallel(const std::vector<std::pair<Algo, DatasetId>> &work,
                      const GpuConfig &gpu, double scale = 1.0,
                      unsigned num_threads = 0);
+
+/**
+ * Kernel knobs the serving layer (src/serve) may degrade under load.
+ * Only GGNN has quality knobs; the point/key kernels are exact and can
+ * only shed.
+ */
+struct ServeKnobs
+{
+    unsigned ggnnEf = 32; //!< GGNN layer-0 beam width
+    unsigned ggnnK = 10;  //!< GGNN result count
+
+    bool
+    operator==(const ServeKnobs &o) const
+    {
+        return ggnnEf == o.ggnnEf && ggnnK == o.ggnnK;
+    }
+};
+
+/**
+ * Emit the trace of one dynamic batch for the serving subsystem.
+ *
+ * Requests reference queries by id into a deterministic per-dataset
+ * serving pool of @p pool_size queries (generated once and memoized, a
+ * pure function of the dataset seed). The batch runs through the same
+ * kernel emitters as the offline benches — one warp per GGNN query, 32
+ * point/key queries per warp — so batch cost is exactly what the
+ * closed-loop experiments measure at that batch size.
+ *
+ * @param query_ids ids in [0, pool_size); one request each
+ * @param knobs     (possibly degraded) kernel quality knobs
+ */
+KernelTrace emitBatchTrace(Algo algo, DatasetId dataset,
+                           KernelVariant variant, const DatapathConfig &dp,
+                           const std::vector<std::uint32_t> &query_ids,
+                           std::size_t pool_size,
+                           const ServeKnobs &knobs = ServeKnobs{});
 
 /** Datasets an algorithm is evaluated on (Table II usage). */
 std::vector<DatasetId> datasetsForAlgo(Algo algo);

@@ -1,0 +1,103 @@
+#include "serve/arrivals.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hsu::serve
+{
+
+ArrivalGenerator::ArrivalGenerator(const ArrivalConfig &cfg, Algo algo,
+                                   DatasetId dataset)
+    : cfg_(cfg), algo_(algo), dataset_(dataset), rng_(cfg.seed)
+{
+    if (cfg_.ratePerCycle <= 0.0)
+        hsu_fatal("arrival rate must be positive: ", cfg_.ratePerCycle);
+    if (cfg_.queryPoolSize == 0)
+        hsu_fatal("arrival query pool must be non-empty");
+
+    if (cfg_.process == ArrivalProcess::Bursty) {
+        const double f = cfg_.burstFraction;
+        const double b = cfg_.burstFactor;
+        if (f <= 0.0 || f >= 1.0)
+            hsu_fatal("burst fraction must be in (0,1): ", f);
+        if (b <= 1.0 || f * b >= 1.0) {
+            hsu_fatal("burst factor must satisfy 1 < factor < 1/",
+                      "fraction (got ", b, " with fraction ", f, ")");
+        }
+        if (cfg_.meanBurstCycles <= 0.0)
+            hsu_fatal("mean burst length must be positive");
+        // Split the mean rate into the two state rates so the long-run
+        // average is exactly ratePerCycle:
+        //   f * burstRate + (1 - f) * calmRate = rate.
+        burstRate_ = b * cfg_.ratePerCycle;
+        calmRate_ = cfg_.ratePerCycle * (1.0 - f * b) / (1.0 - f);
+        meanCalmCycles_ = cfg_.meanBurstCycles * (1.0 - f) / f;
+        inBurst_ = false;
+        stateLeftCycles_ = exponential(1.0 / meanCalmCycles_);
+    }
+}
+
+double
+ArrivalGenerator::exponential(double rate)
+{
+    // -log(1 - U) / rate with U in [0, 1): strictly positive, finite.
+    return -std::log(1.0 - rng_.nextDouble()) / rate;
+}
+
+Cycle
+ArrivalGenerator::nextGapCycles()
+{
+    double gap = 0.0;
+    if (cfg_.process == ArrivalProcess::Poisson) {
+        gap = exponential(cfg_.ratePerCycle);
+    } else {
+        // Competing clocks: an arrival drawn at the current state's
+        // rate either lands inside the remaining sojourn, or the state
+        // flips and (by memorylessness) the draw restarts.
+        for (;;) {
+            const double rate = inBurst_ ? burstRate_ : calmRate_;
+            const double e = exponential(rate);
+            if (e <= stateLeftCycles_) {
+                stateLeftCycles_ -= e;
+                gap += e;
+                break;
+            }
+            gap += stateLeftCycles_;
+            inBurst_ = !inBurst_;
+            stateLeftCycles_ = exponential(
+                1.0 / (inBurst_ ? cfg_.meanBurstCycles
+                                : meanCalmCycles_));
+        }
+    }
+    return static_cast<Cycle>(std::llround(std::max(1.0, gap)));
+}
+
+Request
+ArrivalGenerator::next()
+{
+    clockCycles_ += static_cast<double>(nextGapCycles());
+    Request req;
+    req.id = nextId_++;
+    req.arrivalCycle = static_cast<Cycle>(clockCycles_);
+    req.algo = algo_;
+    req.dataset = dataset_;
+    req.queryId =
+        static_cast<std::uint32_t>(rng_.nextBounded(cfg_.queryPoolSize));
+    req.deadlineCycle = cfg_.deadlineCycles
+                            ? req.arrivalCycle + cfg_.deadlineCycles
+                            : kNeverCycle;
+    return req;
+}
+
+std::vector<Request>
+ArrivalGenerator::generate(std::size_t count)
+{
+    std::vector<Request> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(next());
+    return out;
+}
+
+} // namespace hsu::serve

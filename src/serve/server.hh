@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Simulated-time online query server over the GPU timing model.
+ *
+ * An open-loop request stream (serve/arrivals) feeds a dynamic batcher
+ * (serve/batcher); batches launch on one or more simulated GPU
+ * instances. Everything advances on one unified simulated clock:
+ * a request's latency is
+ *
+ *     completion - arrival = queueing/batching wait
+ *                          + launch overhead
+ *                          + simulated kernel cycles of its batch,
+ *
+ * where the kernel cycles come from simulating the batch's trace on
+ * the instance's Gpu — the same emitters and timing model as the
+ * offline benches, so online and offline numbers are directly
+ * comparable.
+ *
+ * Admission control and graceful degradation: an arrival finding the
+ * queue at shedWater is shed immediately; a batch formed while the
+ * queue is at highWater runs with degraded GGNN knobs (shrunk beam
+ * width/k — the exact point/key kernels have no quality knob and only
+ * shed). Requests whose deadline passed while queued are dropped at
+ * batch formation.
+ *
+ * Execution: the event loop is sequential in simulated time, but the
+ * batch simulations themselves fan out across an hsu::ThreadPool —
+ * every instance dispatched at the current event executes its kernel
+ * simulation concurrently. Service times are pure functions of batch
+ * contents, so results are bit-identical for any HSU_JOBS value.
+ */
+
+#ifndef HSU_SERVE_SERVER_HH
+#define HSU_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "search/runner.hh"
+#include "serve/arrivals.hh"
+#include "serve/batcher.hh"
+#include "sim/config.hh"
+
+namespace hsu::serve
+{
+
+/** Overload-response knobs. */
+struct DegradePolicy
+{
+    /** Queue depth at which batches switch to degraded knobs. */
+    std::size_t highWater = 96;
+    /** Queue depth at which new arrivals are shed outright. */
+    std::size_t shedWater = 512;
+    /** Degraded GGNN knobs (beam width / k under pressure). */
+    ServeKnobs degradedKnobs{16, 10};
+};
+
+/** Full server configuration. */
+struct ServerConfig
+{
+    /** Per-instance GPU config; rtUnitEnabled selects the HSU or the
+     *  non-RT baseline trace flavor for every batch. */
+    GpuConfig gpu;
+    /** Simulated GPU instances batches fan out over. */
+    unsigned numInstances = 1;
+    BatchPolicy batch;
+    DegradePolicy degrade;
+    /** Serving query pool size (must cover request query-ids). */
+    std::uint32_t queryPoolSize = 1024;
+    /** Fixed per-launch overhead charged before kernel cycles. */
+    Cycle launchOverheadCycles = 1'000;
+    /** Simulation worker threads; 0 -> HSU_JOBS / hardware. */
+    unsigned jobs = 0;
+};
+
+/** Aggregate results of one open-loop serving run. */
+struct ServeReport
+{
+    std::uint64_t offered = 0;      //!< requests in the input stream
+    std::uint64_t admitted = 0;     //!< passed admission control
+    std::uint64_t completed = 0;    //!< served to completion
+    std::uint64_t shedAdmission = 0;//!< dropped at arrival (queue full)
+    std::uint64_t shedExpired = 0;  //!< dropped at batch formation (SLO)
+    std::uint64_t degraded = 0;     //!< served with degraded knobs
+    std::uint64_t batches = 0;      //!< kernel launches
+    Cycle lastCompletionCycle = 0;  //!< simulated makespan
+
+    Histogram latencyCycles;   //!< arrival -> completion, per request
+    Histogram queueWaitCycles; //!< arrival -> dispatch, per request
+    Histogram batchSize;       //!< requests per launch
+
+    /** Fraction of offered requests dropped (either shed path). */
+    double
+    shedFraction() const
+    {
+        return offered ? static_cast<double>(shedAdmission +
+                                             shedExpired) /
+                             static_cast<double>(offered)
+                       : 0.0;
+    }
+
+    /** Completions per second of simulated time at kClockHz. */
+    double
+    achievedQps() const
+    {
+        if (lastCompletionCycle == 0)
+            return 0.0;
+        return static_cast<double>(completed) /
+               (static_cast<double>(lastCompletionCycle) / kClockHz);
+    }
+
+    /** Latency percentile in microseconds at kClockHz. */
+    double
+    latencyUs(double p) const
+    {
+        return latencyCycles.percentile(p) / kClockHz * 1.0e6;
+    }
+};
+
+/** The serving engine for one (algo, dataset) workload. */
+class Server
+{
+  public:
+    Server(Algo algo, DatasetId dataset, const ServerConfig &cfg);
+
+    /**
+     * Replay @p requests (nondecreasing arrival order) to completion
+     * and return the aggregate report. Deterministic: depends only on
+     * the request stream and the config, never on thread count.
+     */
+    ServeReport run(const std::vector<Request> &requests);
+
+  private:
+    Algo algo_;
+    DatasetId dataset_;
+    ServerConfig cfg_;
+};
+
+} // namespace hsu::serve
+
+#endif // HSU_SERVE_SERVER_HH

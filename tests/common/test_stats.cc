@@ -1,9 +1,14 @@
 /**
  * @file
- * Stat / StatGroup arithmetic and lookup semantics.
+ * Stat / StatGroup arithmetic and lookup semantics, plus the
+ * log-bucketed Histogram the serving layer reports percentiles from.
  */
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
 
 #include "common/stats.hh"
 
@@ -32,6 +37,142 @@ TEST(Stats, GetOrCreateIsStable)
     EXPECT_EQ(&a, &b);
     EXPECT_FALSE(g.has("y"));
     EXPECT_DOUBLE_EQ(g.get("y"), 0.0);
+}
+
+/** Deterministic sample stream spanning several decades. */
+std::vector<double>
+sampleStream(std::size_t n, std::uint64_t seed)
+{
+    std::vector<double> out;
+    out.reserve(n);
+    std::uint64_t x = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        // Map to [1, 1e5) with a long tail.
+        const double u =
+            static_cast<double>(x >> 11) / 9007199254740992.0;
+        out.push_back(std::pow(10.0, 5.0 * u));
+    }
+    return out;
+}
+
+/** Exact nearest-rank percentile of a sample vector. */
+double
+oraclePercentile(std::vector<double> sorted, double p)
+{
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(std::max(
+        1.0,
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size()))));
+    return sorted[rank - 1];
+}
+
+TEST(Histogram, PercentileMatchesSortedVectorOracle)
+{
+    Histogram h;
+    const auto samples = sampleStream(5000, 99);
+    for (const double v : samples)
+        h.add(v);
+
+    for (const double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+        const double exact = oraclePercentile(samples, p);
+        const double est = h.percentile(p);
+        // The estimate must land in (or at the clamp bounds of) the
+        // bucket holding the exact order statistic.
+        EXPECT_GE(est, h.bucketLo(exact)) << "p" << p;
+        EXPECT_LE(est, h.bucketHi(exact)) << "p" << p;
+    }
+    // Extremes are exact, not bucket-resolved.
+    EXPECT_DOUBLE_EQ(
+        h.percentile(100.0),
+        *std::max_element(samples.begin(), samples.end()));
+    EXPECT_DOUBLE_EQ(h.max(),
+                     *std::max_element(samples.begin(), samples.end()));
+    EXPECT_DOUBLE_EQ(h.min(),
+                     *std::min_element(samples.begin(), samples.end()));
+}
+
+TEST(Histogram, OrderIndependent)
+{
+    // Percentiles are a function of the multiset of samples, not the
+    // insertion order — required for bit-identical parallel reports.
+    auto samples = sampleStream(1000, 7);
+    Histogram fwd;
+    for (const double v : samples)
+        fwd.add(v);
+    Histogram rev;
+    std::reverse(samples.begin(), samples.end());
+    for (const double v : samples)
+        rev.add(v);
+    for (const double p : {50.0, 95.0, 99.0})
+        EXPECT_DOUBLE_EQ(fwd.percentile(p), rev.percentile(p));
+    EXPECT_DOUBLE_EQ(fwd.sum(), rev.sum());
+}
+
+TEST(Histogram, MergeEquivalentToCombinedStream)
+{
+    const auto a = sampleStream(700, 1);
+    const auto b = sampleStream(300, 2);
+    Histogram ha, hb, hall;
+    for (const double v : a) {
+        ha.add(v);
+        hall.add(v);
+    }
+    for (const double v : b) {
+        hb.add(v);
+        hall.add(v);
+    }
+    ha.merge(hb);
+    EXPECT_EQ(ha.count(), hall.count());
+    EXPECT_DOUBLE_EQ(ha.sum(), hall.sum());
+    EXPECT_DOUBLE_EQ(ha.min(), hall.min());
+    EXPECT_DOUBLE_EQ(ha.max(), hall.max());
+    for (const double p : {25.0, 50.0, 95.0, 99.0})
+        EXPECT_DOUBLE_EQ(ha.percentile(p), hall.percentile(p));
+}
+
+TEST(Histogram, UnderflowBucketAndEmpty)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+
+    h.add(0.0);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.underflow(), 2u);
+    // Ranks 1-2 are underflow (reported as 0), rank 3 is the sample.
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.min(), 100.0); // smallest *positive* sample
+
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsExactEverywhere)
+{
+    Histogram h;
+    h.add(123.456);
+    for (const double p : {0.0, 50.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(h.percentile(p), 123.456);
+    EXPECT_DOUBLE_EQ(h.mean(), 123.456);
+}
+
+TEST(Histogram, StatGroupRegistry)
+{
+    StatGroup g;
+    Histogram &h = g.histogram("serve.latency");
+    h.add(10.0);
+    Histogram &again = g.histogram("serve.latency");
+    EXPECT_EQ(&h, &again);
+    ASSERT_NE(g.findHistogram("serve.latency"), nullptr);
+    EXPECT_EQ(g.findHistogram("serve.latency")->count(), 1u);
+    EXPECT_EQ(g.findHistogram("absent"), nullptr);
 }
 
 } // namespace
