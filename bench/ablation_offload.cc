@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Offload-fraction ablation (a Fig-7-style sweep made executable): each
+ * workload's semantic trace is emitted once and lowered at PartialOffload
+ * fractions 0..1, simulating the continuum between the non-RT baseline
+ * and the full HSU design. The endpoints are cross-checked against the
+ * two-point runBaseOnly/runHsuOnly paths — f=0 and f=1 must reproduce
+ * their cycle counts exactly (the lowerings are bit-identical and an
+ * idle HSU is timing-neutral), so this bench doubles as an end-to-end
+ * consistency check of the lowering layer.
+ */
+
+#include <cstdlib>
+#include <memory>
+
+#include "bench_common.hh"
+#include "sim/trace_stats.hh"
+
+using namespace hsu;
+
+namespace
+{
+
+constexpr double kFractions[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+
+} // namespace
+
+int
+main()
+{
+    const GpuConfig gpu = bench::defaultGpu(); // RT unit enabled
+    Table t("Offload ablation: cycles vs offloaded fraction of "
+            "semantic ops",
+            {"Workload", "f", "Realized", "Cycles", "Speedup"});
+
+    bool endpoints_ok = true;
+    for (const Algo algo :
+         {Algo::Ggnn, Algo::Flann, Algo::Bvhnn, Algo::Btree}) {
+        const DatasetId id = datasetsForAlgo(algo).front();
+        const DatasetInfo info = datasetInfo(id);
+        const RunnerOptions opts = bench::benchOptions(info);
+        const std::string label = workloadLabel(algo, info);
+
+        // One emission, one lowering per sweep point.
+        const SemKernelTrace sem = emitSemantic(algo, id, opts);
+        std::vector<SimJob> jobs;
+        std::vector<double> realized;
+        for (const double f : kFractions) {
+            auto trace = std::make_shared<KernelTrace>(
+                lowerTrace(sem, Lowering::partial(f, gpu.datapath)));
+            realized.push_back(
+                analyzeTrace(*trace).semanticOffloadFraction());
+            SimJob job;
+            job.kind = SimJob::Kind::Trace;
+            job.gpu = gpu;
+            job.trace = std::move(trace);
+            jobs.push_back(std::move(job));
+        }
+        const std::vector<SimJobResult> res =
+            runJobsParallel(std::move(jobs));
+
+        // Endpoint cross-check against the two-point API.
+        StatGroup base_stats, hsu_stats;
+        const RunResult base =
+            runBaseOnly(algo, id, gpu, opts, base_stats);
+        const RunResult full = runHsuOnly(algo, id, gpu, opts, hsu_stats);
+        if (res.front().run.cycles != base.cycles ||
+            res.back().run.cycles != full.cycles) {
+            std::cerr << label
+                      << ": endpoint mismatch (f=0: "
+                      << res.front().run.cycles << " vs baseline "
+                      << base.cycles << ", f=1: " << res.back().run.cycles
+                      << " vs HSU " << full.cycles << ")\n";
+            endpoints_ok = false;
+        }
+
+        for (std::size_t i = 0; i < std::size(kFractions); ++i) {
+            const double speedup =
+                res[i].run.cycles
+                    ? static_cast<double>(base.cycles) /
+                          static_cast<double>(res[i].run.cycles)
+                    : 0.0;
+            t.addRow({label, Table::num(kFractions[i], 2),
+                      Table::pct(realized[i]),
+                      std::to_string(res[i].run.cycles),
+                      Table::num(speedup, 2) + "x"});
+        }
+    }
+    t.print(std::cout);
+    if (!endpoints_ok) {
+        std::cerr << "FAIL: partial-offload endpoints diverge from the "
+                     "baseline/HSU lowerings\n";
+        return 1;
+    }
+    return 0;
+}

@@ -23,85 +23,46 @@ BtreeKernel::BtreeKernel(const BTree &tree)
     resultBase_ = alloc_.allocate(1u << 20, 128);
 }
 
-BtreeRun
-BtreeKernel::run(const std::vector<std::uint32_t> &keys,
-                 KernelVariant variant, const DatapathConfig &dp) const
+BtreeEmit
+BtreeKernel::emit(const std::vector<std::uint32_t> &keys) const
 {
     // Rodinia's findK assigns a thread block per query and scans each
     // node's separators with all threads in parallel; we model the
     // dominant warp: one warp per query, lanes striding the separator
-    // array. The HSU variant replaces the scan+compare chunks with
-    // KEY_COMPARE instructions (one 36-separator chunk per lane).
-    BtreeRun out;
+    // array. Each internal-node scan is one semantic KeyCompareBatch;
+    // the lowering picks the load+compare loop or KEY_COMPARE.
+    BtreeEmit out;
     out.results.resize(keys.size());
     const auto &nodes = tree_.nodes();
-    out.trace.warps.reserve(keys.size());
+    out.sem.warps.reserve(keys.size());
 
     for (std::size_t q = 0; q < keys.size(); ++q) {
-        out.trace.warps.emplace_back();
-        TraceBuilder tb(out.trace.warps.back());
+        out.sem.warps.emplace_back();
+        SemBuilder sb(out.sem.warps.back());
         const std::uint32_t key = keys[q];
 
         // Kernel prologue: load the query key, compute node offsets,
         // initialize the output record (non-offloadable overhead).
-        tb.loadPattern(queryBase_ + q * 4, 0, 4, 1u);
-        tb.alu(12);
-        tb.shared(6);
+        sb.loadPattern(queryBase_ + q * 4, 0, 4, 1u);
+        sb.alu(12);
+        sb.shared(6);
 
         std::int32_t cur = tree_.root();
         while (!nodes[static_cast<std::size_t>(cur)].leaf) {
             const BTreeNode &node = nodes[static_cast<std::size_t>(cur)];
             const auto nkeys = static_cast<unsigned>(node.keys.size());
-            const std::uint64_t sep = sepLayout_.at(
-                static_cast<std::uint64_t>(cur));
             out.keyCompares += nkeys;
 
-            if (variant == KernelVariant::Hsu) {
-                // ceil(nkeys/36) chunks, one per lane, one CISC
-                // instruction; the bit-vector popcount/combine runs on
-                // the SM.
-                const unsigned chunks =
-                    (nkeys + dp.keyCompareWidth - 1) /
-                    dp.keyCompareWidth;
-                std::uint64_t addrs[kWarpSize] = {};
-                for (unsigned c = 0; c < chunks && c < kWarpSize; ++c)
-                    addrs[c] = sep + c * dp.keyCompareWidth * 4ull;
-                const std::uint8_t tok = tb.hsuOp(
-                    HsuOpcode::KeyCompare, HsuMode::KeyCompare, addrs,
-                    dp.keyCompareWidth * 4,
-                    1, (1u << std::min(chunks, kWarpSize)) - 1u);
-                tb.alu(2 + chunks, kFullMask,
-                       TraceBuilder::tokenMask(tok));
-            } else {
-                // Parallel scan: each 32-separator chunk is one
-                // coalesced load + one compare (this is the slice the
-                // HSU can subsume — the "simplest of the HSU
-                // operations", Section VI-C).
-                const unsigned chunks = (nkeys + kWarpSize - 1) /
-                                        kWarpSize;
-                std::uint32_t toks = 0;
-                for (unsigned c = 0; c < chunks; ++c) {
-                    const unsigned live =
-                        std::min(kWarpSize, nkeys - c * kWarpSize);
-                    toks |= TraceBuilder::tokenMask(tb.loadPattern(
-                        sep + c * kWarpSize * 4ull, 4, 4,
-                        live == kWarpSize ? kFullMask
-                                          : ((1u << live) - 1u),
-                        true));
-                    tb.alu(2, kFullMask, 0, true);
-                }
-                // Ballot + reduce to the child slot (stays on the SM
-                // in both variants).
-                tb.alu(6, kFullMask, toks);
-            }
+            sb.keyCompareScan(
+                sepLayout_.at(static_cast<std::uint64_t>(cur)), nkeys);
 
             // Fetch the chosen child pointer.
             const unsigned slot = BTree::childSlot(node, key);
-            tb.loadPattern(childLayout_.at(
+            sb.loadPattern(childLayout_.at(
                                static_cast<std::uint64_t>(cur)) +
                                slot * 4ull,
                            0, 4, 1u);
-            tb.alu(2);
+            sb.alu(2);
             cur = node.children[slot];
         }
 
@@ -113,18 +74,18 @@ BtreeKernel::run(const std::vector<std::uint32_t> &keys,
             leafLayout_.at(static_cast<std::uint64_t>(cur));
         const unsigned chunks =
             std::max(1u, (nkeys + kWarpSize - 1) / kWarpSize);
-        std::uint32_t toks = 0;
+        std::vector<VirtToken> toks;
         for (unsigned c = 0; c < chunks; ++c) {
-            toks |= TraceBuilder::tokenMask(
-                tb.loadPattern(la + c * kWarpSize * 4ull, 4, 4));
-            tb.alu(2);
+            toks.push_back(
+                sb.loadPattern(la + c * kWarpSize * 4ull, 4, 4));
+            sb.alu(2);
         }
-        tb.alu(6, kFullMask, toks);
-        tb.loadPattern(la + 4096, 0, 4, 1u); // matched value
+        sb.aluConsuming(6, kFullMask, toks);
+        sb.loadPattern(la + 4096, 0, 4, 1u); // matched value
         // Output record assembly (Rodinia writes back per block).
-        tb.alu(8);
-        tb.shared(4);
-        tb.storePattern(resultBase_ + q * 4, 0, 4, 1u);
+        sb.alu(8);
+        sb.shared(4);
+        sb.storePattern(resultBase_ + q * 4, 0, 4, 1u);
 
         const auto it =
             std::lower_bound(leaf.keys.begin(), leaf.keys.end(), key);
@@ -133,6 +94,18 @@ BtreeKernel::run(const std::vector<std::uint32_t> &keys,
                 it - leaf.keys.begin())];
         }
     }
+    return out;
+}
+
+BtreeRun
+BtreeKernel::run(const std::vector<std::uint32_t> &keys,
+                 KernelVariant variant, const DatapathConfig &dp) const
+{
+    BtreeEmit e = emit(keys);
+    BtreeRun out;
+    out.trace = lowerTrace(e.sem, loweringFor(variant, dp));
+    out.results = std::move(e.results);
+    out.keyCompares = e.keyCompares;
     return out;
 }
 

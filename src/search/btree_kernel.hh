@@ -24,6 +24,14 @@
 namespace hsu
 {
 
+/** Emission artifacts: functional results + the semantic trace. */
+struct BtreeEmit
+{
+    SemKernelTrace sem;
+    std::vector<std::optional<std::uint32_t>> results;
+    std::uint64_t keyCompares = 0; //!< separator comparisons executed
+};
+
 /** Run artifacts. */
 struct BtreeRun
 {
@@ -38,7 +46,10 @@ class BtreeKernel
   public:
     explicit BtreeKernel(const BTree &tree);
 
-    /** Look up all @p keys (32 per warp) and emit traces. */
+    /** Look up all @p keys (32 per warp) and emit semantic traces. */
+    BtreeEmit emit(const std::vector<std::uint32_t> &keys) const;
+
+    /** emit() + lowerTrace() convenience (legacy two-point API). */
     BtreeRun run(const std::vector<std::uint32_t> &keys,
                  KernelVariant variant,
                  const DatapathConfig &dp = DatapathConfig{}) const;

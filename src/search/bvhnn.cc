@@ -38,24 +38,23 @@ BvhnnKernel::BvhnnKernel(const PointSet &points, const Lbvh &bvh,
     resultBase_ = alloc_.allocate(65536ull * 8, 128);
 }
 
-BvhnnRun
-BvhnnKernel::run(const PointSet &queries, KernelVariant variant,
-                 const DatapathConfig &dp) const
+BvhnnEmit
+BvhnnKernel::emit(const PointSet &queries) const
 {
     if (cfg_.useBvh4)
-        return runBvh4(queries, variant, dp);
-    BvhnnRun out;
+        return emitBvh4(queries);
+    BvhnnEmit out;
     out.results.resize(queries.size());
     const float r2 = cfg_.radius * cfg_.radius;
     const auto &nodes = bvh_.nodes();
 
     const std::size_t num_warps =
         (queries.size() + kWarpSize - 1) / kWarpSize;
-    out.trace.warps.reserve(num_warps);
+    out.sem.warps.reserve(num_warps);
 
     for (std::size_t w = 0; w < num_warps; ++w) {
-        out.trace.warps.emplace_back();
-        TraceBuilder tb(out.trace.warps.back());
+        out.sem.warps.emplace_back();
+        SemBuilder sb(out.sem.warps.back());
 
         Lane lanes[kWarpSize];
         std::uint32_t alive = 0;
@@ -80,9 +79,9 @@ BvhnnKernel::run(const PointSet &queries, KernelVariant variant,
                 if (q < queries.size())
                     addrs[l] = queryLayout_.pointAddr(q);
             }
-            tb.loadGather(addrs, 12, alive);
-            tb.alu(4, alive); // prepare ray constants / bounds
-            tb.shared(2, alive); // initialize the traversal stack
+            sb.loadGather(addrs, 12, alive);
+            sb.alu(4, alive); // prepare ray constants / bounds
+            sb.shared(2, alive); // initialize the traversal stack
         }
 
         // Lockstep traversal: every iteration, active lanes pop one
@@ -107,7 +106,7 @@ BvhnnKernel::run(const PointSet &queries, KernelVariant variant,
                 break;
 
             // Stack pop bookkeeping (shared memory).
-            tb.shared(1, m_any);
+            sb.shared(1, m_any);
 
             if (m_int) {
                 // --- Internal step: fetch node, two slab tests -------
@@ -118,35 +117,13 @@ BvhnnKernel::run(const PointSet &queries, KernelVariant variant,
                             static_cast<std::uint64_t>(popped[l]));
                     }
                 }
-                std::uint8_t tok;
-                if (variant == KernelVariant::Hsu) {
-                    // One CISC instruction fetches the whole node and
-                    // runs both slab tests.
-                    tok = tb.hsuOp(HsuOpcode::RayIntersect,
-                                   HsuMode::RayBox, addrs, 64, 1, m_int);
-                } else {
-                    // The 64B node is four LDG.128 vector loads (this
-                    // is the sequential-load traffic the HSU CISC
-                    // fetch coalesces away, Section VI-J / Fig 12).
-                    std::uint32_t toks = 0;
-                    for (unsigned c = 0; c < 4; ++c) {
-                        std::uint64_t chunk[kWarpSize];
-                        for (unsigned l = 0; l < kWarpSize; ++l)
-                            chunk[l] = addrs[l] + c * 16ull;
-                        toks |= TraceBuilder::tokenMask(
-                            tb.loadGather(chunk, 16, m_int, true));
-                    }
-                    // Two slab tests: ~12 FP ops each, plus the hit
-                    // compares, near/far ordering, and the address
-                    // arithmetic interleaved with them.
-                    tb.alu(30, m_int, toks, true);
-                    tok = kNoToken;
-                }
+                const VirtToken tok =
+                    sb.boxTest(addrs, m_int, bvhBoxShape());
                 // Process results + push surviving children (not
                 // offloaded: "processes the result ... to maintain a
                 // per-thread traversal stack", Section VI-C).
-                tb.alu(5, m_int, TraceBuilder::tokenMask(tok));
-                tb.shared(3, m_int);
+                sb.alu(5, m_int, {tok});
+                sb.shared(3, m_int);
 
                 for (unsigned l = 0; l < kWarpSize; ++l) {
                     if (!(m_int & (1u << l)))
@@ -191,20 +168,10 @@ BvhnnKernel::run(const PointSet &queries, KernelVariant variant,
                             pointsLayout_.pointAddr(primPos_[prim]);
                     }
                 }
-                std::uint8_t tok;
-                if (variant == KernelVariant::Hsu) {
-                    tok = tb.hsuOp(HsuOpcode::PointEuclid,
-                                   HsuMode::Euclid, addrs, 12, 1,
-                                   m_leaf);
-                } else {
-                    tok = tb.loadGather(addrs, 12, m_leaf, true);
-                    tb.alu(8, m_leaf, TraceBuilder::tokenMask(tok),
-                           true);
-                }
+                const VirtToken tok = sb.distanceLanes(
+                    3, addrs, m_leaf, bvhnnLeafShape());
                 // Best-hit update.
-                tb.alu(2, m_leaf, variant == KernelVariant::Hsu
-                                      ? TraceBuilder::tokenMask(tok)
-                                      : 0u);
+                sb.alu(2, m_leaf, {tok});
 
                 for (unsigned l = 0; l < kWarpSize; ++l) {
                     if (!(m_leaf & (1u << l)))
@@ -228,7 +195,7 @@ BvhnnKernel::run(const PointSet &queries, KernelVariant variant,
 
         // Write results.
         std::uint32_t alive_now = alive;
-        tb.storePattern(resultBase_ + w * kWarpSize * 8, 8, 8,
+        sb.storePattern(resultBase_ + w * kWarpSize * 8, 8, 8,
                         alive_now);
         for (unsigned l = 0; l < kWarpSize; ++l) {
             const std::size_t q = w * kWarpSize + l;
@@ -242,16 +209,14 @@ BvhnnKernel::run(const PointSet &queries, KernelVariant variant,
     return out;
 }
 
-BvhnnRun
-BvhnnKernel::runBvh4(const PointSet &queries, KernelVariant variant,
-                     const DatapathConfig &dp) const
+BvhnnEmit
+BvhnnKernel::emitBvh4(const PointSet &queries) const
 {
-    (void)dp; // 3-D points always fit one beat
     // Same traversal as the binary path, but each RAY_INTERSECT
     // fetches a 128B 4-wide node and tests up to four children — the
     // configuration the paper conjectures would utilize the unit
     // better (Section VI-E).
-    BvhnnRun out;
+    BvhnnEmit out;
     out.results.resize(queries.size());
     const float r2 = cfg_.radius * cfg_.radius;
     const auto &nodes = bvh4_.nodes();
@@ -267,11 +232,11 @@ BvhnnKernel::runBvh4(const PointSet &queries, KernelVariant variant,
 
     const std::size_t num_warps =
         (queries.size() + kWarpSize - 1) / kWarpSize;
-    out.trace.warps.reserve(num_warps);
+    out.sem.warps.reserve(num_warps);
 
     for (std::size_t w = 0; w < num_warps; ++w) {
-        out.trace.warps.emplace_back();
-        TraceBuilder tb(out.trace.warps.back());
+        out.sem.warps.emplace_back();
+        SemBuilder sb(out.sem.warps.back());
 
         Lane4 lanes[kWarpSize];
         std::uint32_t alive = 0;
@@ -293,9 +258,9 @@ BvhnnKernel::runBvh4(const PointSet &queries, KernelVariant variant,
                 if (q < queries.size())
                     addrs[l] = queryLayout_.pointAddr(q);
             }
-            tb.loadGather(addrs, 12, alive);
-            tb.alu(4, alive);
-            tb.shared(2, alive);
+            sb.loadGather(addrs, 12, alive);
+            sb.alu(4, alive);
+            sb.shared(2, alive);
         }
 
         for (;;) {
@@ -314,19 +279,9 @@ BvhnnKernel::runBvh4(const PointSet &queries, KernelVariant variant,
                     pointsLayout_.pointAddr(primPos_[leaf_prim[l]]);
             }
             if (m_leaf) {
-                std::uint8_t tok;
-                if (variant == KernelVariant::Hsu) {
-                    tok = tb.hsuOp(HsuOpcode::PointEuclid,
-                                   HsuMode::Euclid, leaf_addrs, 12, 1,
-                                   m_leaf);
-                } else {
-                    tok = tb.loadGather(leaf_addrs, 12, m_leaf, true);
-                    tb.alu(8, m_leaf, TraceBuilder::tokenMask(tok),
-                           true);
-                }
-                tb.alu(2, m_leaf, variant == KernelVariant::Hsu
-                                      ? TraceBuilder::tokenMask(tok)
-                                      : 0u);
+                const VirtToken tok = sb.distanceLanes(
+                    3, leaf_addrs, m_leaf, bvhnnLeafShape());
+                sb.alu(2, m_leaf, {tok});
                 for (unsigned l = 0; l < kWarpSize; ++l) {
                     if (!(m_leaf & (1u << l)))
                         continue;
@@ -361,27 +316,11 @@ BvhnnKernel::runBvh4(const PointSet &queries, KernelVariant variant,
             if (!m_int)
                 continue;
 
-            tb.shared(1, m_int);
-            std::uint8_t tok;
-            if (variant == KernelVariant::Hsu) {
-                tok = tb.hsuOp(HsuOpcode::RayIntersect, HsuMode::RayBox,
-                               addrs, BoxNode4::kBytes, 1, m_int);
-            } else {
-                // 128B node = 8 LDG.128 loads; four slab tests + the
-                // closest-hit ordering.
-                std::uint32_t toks = 0;
-                for (unsigned c = 0; c < 8; ++c) {
-                    std::uint64_t chunk[kWarpSize];
-                    for (unsigned l = 0; l < kWarpSize; ++l)
-                        chunk[l] = addrs[l] + c * 16ull;
-                    toks |= TraceBuilder::tokenMask(
-                        tb.loadGather(chunk, 16, m_int, true));
-                }
-                tb.alu(58, m_int, toks, true);
-                tok = kNoToken;
-            }
-            tb.alu(5, m_int, TraceBuilder::tokenMask(tok));
-            tb.shared(3, m_int);
+            sb.shared(1, m_int);
+            const VirtToken tok =
+                sb.boxTest(addrs, m_int, bvh4BoxShape());
+            sb.alu(5, m_int, {tok});
+            sb.shared(3, m_int);
 
             for (unsigned l = 0; l < kWarpSize; ++l) {
                 if (!(m_int & (1u << l)))
@@ -408,7 +347,7 @@ BvhnnKernel::runBvh4(const PointSet &queries, KernelVariant variant,
             }
         }
 
-        tb.storePattern(resultBase_ + w * kWarpSize * 8, 8, 8, alive);
+        sb.storePattern(resultBase_ + w * kWarpSize * 8, 8, 8, alive);
         for (unsigned l = 0; l < kWarpSize; ++l) {
             const std::size_t q = w * kWarpSize + l;
             if (q >= queries.size())
@@ -418,6 +357,19 @@ BvhnnKernel::runBvh4(const PointSet &queries, KernelVariant variant,
                           lanes[l].best >= 0 ? lanes[l].bestD2 : 0.0f};
         }
     }
+    return out;
+}
+
+BvhnnRun
+BvhnnKernel::run(const PointSet &queries, KernelVariant variant,
+                 const DatapathConfig &dp) const
+{
+    BvhnnEmit e = emit(queries);
+    BvhnnRun out;
+    out.trace = lowerTrace(e.sem, loweringFor(variant, dp));
+    out.results = std::move(e.results);
+    out.boxTests = e.boxTests;
+    out.distanceTests = e.distanceTests;
     return out;
 }
 

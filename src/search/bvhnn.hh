@@ -51,6 +51,15 @@ struct RadiusHit
     float dist2 = 0.0f;
 };
 
+/** Emission artifacts: functional results + the semantic trace. */
+struct BvhnnEmit
+{
+    SemKernelTrace sem;
+    std::vector<RadiusHit> results;
+    std::uint64_t boxTests = 0;
+    std::uint64_t distanceTests = 0;
+};
+
 /** Run artifacts. */
 struct BvhnnRun
 {
@@ -67,14 +76,17 @@ class BvhnnKernel
     BvhnnKernel(const PointSet &points, const Lbvh &bvh,
                 BvhnnConfig cfg);
 
-    /** Run all queries (32 per warp) and emit traces. */
+    /** Run all queries (32 per warp) and emit semantic traces
+     *  (binary or 4-wide per cfg.useBvh4). */
+    BvhnnEmit emit(const PointSet &queries) const;
+
+    /** emit() + lowerTrace() convenience (legacy two-point API). */
     BvhnnRun run(const PointSet &queries, KernelVariant variant,
                  const DatapathConfig &dp = DatapathConfig{}) const;
 
   private:
     /** Traversal over the 4-wide collapsed BVH (ablation mode). */
-    BvhnnRun runBvh4(const PointSet &queries, KernelVariant variant,
-                     const DatapathConfig &dp) const;
+    BvhnnEmit emitBvh4(const PointSet &queries) const;
 
     const PointSet &points_;
     const Lbvh &bvh_;

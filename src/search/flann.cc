@@ -35,26 +35,25 @@ FlannKernel::FlannKernel(const KdTree &tree)
     resultBase_ = alloc_.allocate(65536ull * 8, 128);
 }
 
-FlannRun
-FlannKernel::run(const PointSet &queries, KernelVariant variant,
-                 const DatapathConfig &dp) const
+FlannEmit
+FlannKernel::emit(const PointSet &queries) const
 {
     const PointSet &pts = tree_.points();
     const unsigned dim = pts.dim();
     hsu_assert(queries.dim() == dim, "query dimensionality mismatch");
 
-    FlannRun out;
+    FlannEmit out;
     out.results.resize(queries.size());
     const auto &nodes = tree_.nodes();
     const auto &pindex = tree_.pointIndex();
 
     const std::size_t num_warps =
         (queries.size() + kWarpSize - 1) / kWarpSize;
-    out.trace.warps.reserve(num_warps);
+    out.sem.warps.reserve(num_warps);
 
     for (std::size_t w = 0; w < num_warps; ++w) {
-        out.trace.warps.emplace_back();
-        TraceBuilder tb(out.trace.warps.back());
+        out.sem.warps.emplace_back();
+        SemBuilder sb(out.sem.warps.back());
 
         Lane lanes[kWarpSize];
         std::uint32_t alive = 0;
@@ -77,8 +76,8 @@ FlannKernel::run(const PointSet &queries, KernelVariant variant,
                 if (q < queries.size())
                     addrs[l] = queryLayout_.pointAddr(q);
             }
-            tb.loadGather(addrs, dim * 4, alive);
-            tb.shared(2, alive); // stack init
+            sb.loadGather(addrs, dim * 4, alive);
+            sb.shared(2, alive); // stack init
         }
 
         for (;;) {
@@ -107,8 +106,8 @@ FlannKernel::run(const PointSet &queries, KernelVariant variant,
                 break;
 
             // Stack pop + bound check.
-            tb.shared(1, m_any);
-            tb.alu(2, m_any);
+            sb.shared(1, m_any);
+            sb.alu(2, m_any);
 
             if (m_int) {
                 // --- Internal: load split plane, scalar compare ------
@@ -120,12 +119,12 @@ FlannKernel::run(const PointSet &queries, KernelVariant variant,
                     }
                 }
                 // The split test is NOT offloadable: single scalar
-                // subtract + compare (Section VI-F).
-                const std::uint8_t tok =
-                    tb.loadGather(addrs, 16, m_int);
+                // subtract + compare (Section VI-F), so it stays a
+                // pass-through load, never a DistanceBatch.
+                const VirtToken tok = sb.loadGather(addrs, 16, m_int);
                 // Compare + select near/far + bound computation.
-                tb.alu(6, m_int, TraceBuilder::tokenMask(tok));
-                tb.shared(3, m_int); // push far child
+                sb.alu(6, m_int, {tok});
+                sb.shared(3, m_int); // push far child
 
                 for (unsigned l = 0; l < kWarpSize; ++l) {
                     if (!(m_int & (1u << l)))
@@ -164,7 +163,7 @@ FlannKernel::run(const PointSet &queries, KernelVariant variant,
                 // The per-point tests are mutually independent, so the
                 // compiler software-pipelines them: issue all tests,
                 // then fold the results into the running best.
-                std::uint32_t pending_toks = 0;
+                std::vector<VirtToken> pending;
                 std::uint32_t last_mask = 0;
                 for (unsigned j = 0; j < max_count; ++j) {
                     std::uint32_t m_pt = 0;
@@ -186,33 +185,8 @@ FlannKernel::run(const PointSet &queries, KernelVariant variant,
                     if (!m_pt)
                         break;
                     last_mask = m_pt;
-                    if (variant == KernelVariant::Hsu) {
-                        pending_toks |= TraceBuilder::tokenMask(
-                            tb.hsuOp(HsuOpcode::PointEuclid,
-                                     HsuMode::Euclid, addrs,
-                                     std::min(dp.euclidWidth, dim) * 4,
-                                     dp.euclidBeats(dim), m_pt));
-                    } else {
-                        // float3 fetch is an LDG.64 + LDG.32 pair
-                        // (packed FLANN points); higher dimensions
-                        // load 16B vector chunks. Then the
-                        // subtract/FMA/compare work per dimension,
-                        // plus loop/addressing overhead.
-                        const unsigned chunks =
-                            dim == 3 ? 2 : (dim * 4 + 15) / 16;
-                        for (unsigned c = 0; c < chunks; ++c) {
-                            std::uint64_t ca[kWarpSize];
-                            const std::uint64_t step =
-                                dim == 3 ? 8 : 16;
-                            for (unsigned l = 0; l < kWarpSize; ++l)
-                                ca[l] = addrs[l] + c * step;
-                            pending_toks |= TraceBuilder::tokenMask(
-                                tb.loadGather(ca, dim == 3 ? 8 : 16,
-                                              m_pt, true));
-                        }
-                        tb.alu(3 * dim + 14, m_pt, pending_toks, true);
-                        pending_toks = 0;
-                    }
+                    pending.push_back(sb.distanceLanes(
+                        dim, addrs, m_pt, flannDistanceShape(dim)));
 
                     for (unsigned l = 0; l < kWarpSize; ++l) {
                         if (!(m_pt & (1u << l)))
@@ -234,18 +208,31 @@ FlannKernel::run(const PointSet &queries, KernelVariant variant,
                 // Fold every test's result into the running best
                 // (not offloaded).
                 if (last_mask != 0)
-                    tb.alu(2 * max_count, m_leaf, pending_toks);
+                    sb.aluConsuming(2 * max_count, m_leaf, pending);
             }
             out.nodeSteps += 1;
         }
 
-        tb.storePattern(resultBase_ + w * kWarpSize * 8, 8, 8, alive);
+        sb.storePattern(resultBase_ + w * kWarpSize * 8, 8, 8, alive);
         for (unsigned l = 0; l < kWarpSize; ++l) {
             const std::size_t q = w * kWarpSize + l;
             if (q < queries.size())
                 out.results[q] = lanes[l].best;
         }
     }
+    return out;
+}
+
+FlannRun
+FlannKernel::run(const PointSet &queries, KernelVariant variant,
+                 const DatapathConfig &dp) const
+{
+    FlannEmit e = emit(queries);
+    FlannRun out;
+    out.trace = lowerTrace(e.sem, loweringFor(variant, dp));
+    out.results = std::move(e.results);
+    out.nodeSteps = e.nodeSteps;
+    out.distanceTests = e.distanceTests;
     return out;
 }
 

@@ -31,6 +31,15 @@ struct FlannConfig
     unsigned leafSize = 8; //!< tree leaf capacity (build-time)
 };
 
+/** Emission artifacts: functional results + the semantic trace. */
+struct FlannEmit
+{
+    SemKernelTrace sem;
+    std::vector<Neighbor> results; //!< exact 1-NN per query
+    std::uint64_t nodeSteps = 0;
+    std::uint64_t distanceTests = 0;
+};
+
 /** Run artifacts. */
 struct FlannRun
 {
@@ -46,7 +55,10 @@ class FlannKernel
   public:
     explicit FlannKernel(const KdTree &tree);
 
-    /** Run all queries (32 per warp) and emit traces. */
+    /** Run all queries (32 per warp) and emit semantic traces. */
+    FlannEmit emit(const PointSet &queries) const;
+
+    /** emit() + lowerTrace() convenience (legacy two-point API). */
     FlannRun run(const PointSet &queries, KernelVariant variant,
                  const DatapathConfig &dp = DatapathConfig{}) const;
 

@@ -10,19 +10,6 @@
 namespace hsu
 {
 
-namespace
-{
-
-/** Active mask with the low @p n lanes set. */
-std::uint32_t
-lowLanes(unsigned n)
-{
-    hsu_assert(n <= kWarpSize, "too many lanes: ", n);
-    return n == kWarpSize ? kFullMask : ((1u << n) - 1u);
-}
-
-} // namespace
-
 GgnnKernel::GgnnKernel(const HnswGraph &graph, GgnnConfig cfg)
     : graph_(graph), cfg_(cfg)
 {
@@ -40,9 +27,7 @@ GgnnKernel::GgnnKernel(const HnswGraph &graph, GgnnConfig cfg)
 /** Per-query emission context. */
 struct GgnnKernel::EmitCtx
 {
-    TraceBuilder &tb;
-    KernelVariant variant;
-    const DatapathConfig &dp;
+    SemBuilder &sb;
     const float *query;
     std::uint64_t queryIdx;
     std::uint64_t distanceTests = 0;
@@ -51,7 +36,7 @@ struct GgnnKernel::EmitCtx
 void
 GgnnKernel::emitDistanceBatch(EmitCtx &ctx,
                               const std::vector<std::uint32_t> &cands,
-                              std::uint32_t consume_token_mask,
+                              VirtToken consume,
                               std::vector<float> &dists_out) const
 {
     const PointSet &pts = graph_.points();
@@ -68,86 +53,44 @@ GgnnKernel::emitDistanceBatch(EmitCtx &ctx,
     }
     ctx.distanceTests += m;
 
-    if (ctx.variant == KernelVariant::Hsu) {
-        // One candidate per lane; one (multi-beat) HSU instruction.
-        std::uint64_t addrs[kWarpSize] = {};
-        for (unsigned i = 0; i < m; ++i)
-            addrs[i] = pointsLayout_.pointAddr(cands[i]);
-        const bool angular = metric == Metric::Angular;
-        const HsuMode mode =
-            angular ? HsuMode::Angular : HsuMode::Euclid;
-        const unsigned beats = angular ? ctx.dp.angularBeats(dim)
-                                       : ctx.dp.euclidBeats(dim);
-        const std::uint8_t tok = ctx.tb.hsuOp(
-            angular ? HsuOpcode::PointAngular : HsuOpcode::PointEuclid,
-            mode, addrs, ctx.dp.bytesPerBeat(mode), beats, lowLanes(m),
-            consume_token_mask);
-        // Angular: the scalar rsqrt/divide runs on the SM (eq. 2).
-        ctx.tb.alu(angular ? 4 : 1, lowLanes(m),
-                   TraceBuilder::tokenMask(tok));
-        return;
-    }
-
-    // Baseline: candidates processed one at a time, warp-cooperatively
-    // (32 lanes stride the dimensions; coalesced loads + FMA blocks +
-    // a log2(32)-step shuffle reduction). Instruction counts follow
-    // the SASS the kernel actually executes — per 128B chunk: the
-    // load, the (vectorized) subtract/FMA pair, address updates, and
-    // loop predication; then the shuffle reduction and epilogue.
-    const unsigned chunk_loads =
-        std::max(1u, (dim * 4 + 127) / 128); // 128B per coalesced load
-    // Angular needs two accumulators (dot product + candidate norm,
-    // eqs. 3-4) and two shuffle reductions, so its per-chunk and
-    // reduction blocks are roughly double the euclid ones.
-    const unsigned per_chunk_alu =
-        graph_.metric() == Metric::Angular ? 13 : 7;
-    const unsigned reduce_ops =
-        graph_.metric() == Metric::Angular ? 18 : 10;
-    for (unsigned i = 0; i < m; ++i) {
-        const std::uint64_t base = pointsLayout_.pointAddr(cands[i]);
-        std::uint32_t toks = consume_token_mask;
-        for (unsigned c = 0; c < chunk_loads; ++c) {
-            const std::uint8_t t = ctx.tb.loadPattern(
-                base + c * 128ull, 4, 4, kFullMask, true);
-            toks |= TraceBuilder::tokenMask(t);
-            ctx.tb.alu(per_chunk_alu, kFullMask, 0, true);
-        }
-        ctx.tb.alu(reduce_ops, kFullMask, toks, true);
-        // Non-offloadable epilogue: keep/compare the candidate.
-        ctx.tb.alu(2, kFullMask);
-    }
+    // One candidate per lane (the lowering serializes candidates for
+    // the baseline expansion).
+    std::uint64_t addrs[kWarpSize] = {};
+    for (unsigned i = 0; i < m; ++i)
+        addrs[i] = pointsLayout_.pointAddr(cands[i]);
+    ctx.sb.distanceWarpCoop(metric, dim, addrs, m,
+                            ggnnDistanceShape(metric, dim), {consume});
 }
 
-GgnnRun
-GgnnKernel::run(const PointSet &queries, KernelVariant variant,
-                const DatapathConfig &dp) const
+GgnnEmit
+GgnnKernel::emit(const PointSet &queries) const
 {
     const PointSet &pts = graph_.points();
     const unsigned dim = pts.dim();
     hsu_assert(queries.dim() == dim, "query dimensionality mismatch");
     hsu_assert(queries.size() <= 65536, "query region overflow");
 
-    GgnnRun out;
+    GgnnEmit out;
     out.results.reserve(queries.size());
-    out.trace.warps.reserve(queries.size());
+    out.sem.warps.reserve(queries.size());
 
     const unsigned top = graph_.numLayers() - 1;
 
     for (std::size_t q = 0; q < queries.size(); ++q) {
-        out.trace.warps.emplace_back();
-        WarpTrace &wt = out.trace.warps.back();
-        TraceBuilder tb(wt);
-        EmitCtx ctx{tb, variant, dp, queries[q], q, 0};
+        out.sem.warps.emplace_back();
+        SemBuilder sb(out.sem.warps.back());
+        EmitCtx ctx{sb, queries[q], q, 0};
 
         // Load the query point into registers (coalesced) and
         // precompute its squared norm for angular search.
-        std::uint32_t qtoks = 0;
+        std::vector<VirtToken> qtoks;
         const unsigned qchunks = std::max(1u, (dim * 4 + 127) / 128);
         for (unsigned c = 0; c < qchunks; ++c) {
-            qtoks |= TraceBuilder::tokenMask(tb.loadPattern(
+            qtoks.push_back(sb.loadPattern(
                 queryLayout_.pointAddr(q) + c * 128ull, 4, 4));
         }
-        tb.alu((dim + kWarpSize - 1) / kWarpSize + 6, kFullMask, qtoks);
+        sb.aluConsuming((dim + kWarpSize - 1) / kWarpSize + 6, kFullMask,
+                        qtoks);
 
         // --- Greedy descent through the upper layers ---------------
         std::uint32_t cur = graph_.entryPoint();
@@ -158,8 +101,9 @@ GgnnKernel::run(const PointSet &queries, KernelVariant variant,
             for (;;) {
                 // Fetch the neighbor row.
                 const unsigned deg = graph_.layerDegree(l);
-                const std::uint8_t ntok = tb.loadPattern(
-                    adjLayout_[l].at(cur), 4, 4, lowLanes(deg));
+                const VirtToken ntok = sb.loadPattern(
+                    adjLayout_[l].at(cur), 4, 4,
+                    SemBuilder::lowLanes(deg));
                 const std::uint32_t *nbrs = graph_.neighbors(l, cur);
                 std::vector<std::uint32_t> cands;
                 for (unsigned j = 0; j < deg; ++j) {
@@ -170,10 +114,9 @@ GgnnKernel::run(const PointSet &queries, KernelVariant variant,
                 if (cands.empty())
                     break;
                 std::vector<float> dists;
-                emitDistanceBatch(ctx, cands,
-                                  TraceBuilder::tokenMask(ntok), dists);
+                emitDistanceBatch(ctx, cands, ntok, dists);
                 // Warp-wide min reduction + pointer update.
-                tb.alu(6);
+                sb.alu(6);
                 unsigned best = 0;
                 for (unsigned j = 1; j < dists.size(); ++j) {
                     if (dists[j] < dists[best])
@@ -200,7 +143,7 @@ GgnnKernel::run(const PointSet &queries, KernelVariant variant,
         best.push({cur_d, cur});
         visited.insert(cur);
         // Initialize the shared-memory cache/priority queue.
-        tb.shared(16);
+        sb.shared(16);
 
         const unsigned deg0 = graph_.layerDegree(0);
         while (!open.empty()) {
@@ -210,13 +153,14 @@ GgnnKernel::run(const PointSet &queries, KernelVariant variant,
             // queue + termination check: the warp-parallel cache
             // update is a multi-instruction sequence (GGNN's cache is
             // the dominant non-offloadable cost, Section VI-D).
-            tb.shared(8);
-            tb.alu(4);
+            sb.shared(8);
+            sb.alu(4);
             if (d > best.top().first && best.size() >= ef)
                 break;
 
-            const std::uint8_t ntok = tb.loadPattern(
-                adjLayout_[0].at(node), 4, 4, lowLanes(deg0));
+            const VirtToken ntok = sb.loadPattern(
+                adjLayout_[0].at(node), 4, 4,
+                SemBuilder::lowLanes(deg0));
             const std::uint32_t *nbrs = graph_.neighbors(0, node);
             std::vector<std::uint32_t> cands;
             for (unsigned j = 0; j < deg0; ++j) {
@@ -226,13 +170,13 @@ GgnnKernel::run(const PointSet &queries, KernelVariant variant,
                     cands.push_back(nbrs[j]);
             }
             // Visited-set filtering in shared memory.
-            tb.shared(4, kFullMask, TraceBuilder::tokenMask(ntok));
-            tb.alu(3);
+            sb.shared(4, kFullMask, {ntok});
+            sb.alu(3);
             if (cands.empty())
                 continue;
 
             std::vector<float> dists;
-            emitDistanceBatch(ctx, cands, 0, dists);
+            emitDistanceBatch(ctx, cands, kNoVirt, dists);
 
             // Insert the surviving candidates into the priority queue
             // and the K-best cache: this is the non-offloaded queue
@@ -247,8 +191,8 @@ GgnnKernel::run(const PointSet &queries, KernelVariant variant,
                     ++inserted;
                 }
             }
-            tb.shared(4 + 5 * inserted);
-            tb.alu(4 + static_cast<unsigned>(cands.size()));
+            sb.shared(4 + 5 * inserted);
+            sb.alu(4 + static_cast<unsigned>(cands.size()));
         }
 
         // Extract and store the K best.
@@ -260,12 +204,25 @@ GgnnKernel::run(const PointSet &queries, KernelVariant variant,
         std::sort(res.begin(), res.end());
         if (res.size() > cfg_.k)
             res.resize(cfg_.k);
-        tb.shared(2 * cfg_.k);
-        tb.storePattern(resultBase_ + q * cfg_.k * 8, 8, 8,
-                        lowLanes(std::min<unsigned>(cfg_.k, kWarpSize)));
+        sb.shared(2 * cfg_.k);
+        sb.storePattern(
+            resultBase_ + q * cfg_.k * 8, 8, 8,
+            SemBuilder::lowLanes(std::min<unsigned>(cfg_.k, kWarpSize)));
         out.results.push_back(std::move(res));
         out.distanceTests += ctx.distanceTests;
     }
+    return out;
+}
+
+GgnnRun
+GgnnKernel::run(const PointSet &queries, KernelVariant variant,
+                const DatapathConfig &dp) const
+{
+    GgnnEmit e = emit(queries);
+    GgnnRun out;
+    out.trace = lowerTrace(e.sem, loweringFor(variant, dp));
+    out.results = std::move(e.results);
+    out.distanceTests = e.distanceTests;
     return out;
 }
 

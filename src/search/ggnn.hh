@@ -9,10 +9,10 @@
  * memory ("parallel cache"). The HSU accelerates only the Euclidean /
  * angular distance evaluations; queue maintenance stays on the SM.
  *
- * Baseline traces lower each candidate distance to warp-cooperative
- * coalesced loads + FMA/reduction blocks; HSU traces lower a whole
- * neighbor batch to one multi-beat POINT_EUCLID / POINT_ANGULAR
- * instruction with one candidate per lane.
+ * The kernel emits a *semantic* trace (sim/ir.hh): each neighbor batch
+ * is one DistanceBatch op. The lowering pass (sim/lower.hh) expands it
+ * to the baseline warp-cooperative loads + FMA/reduction blocks or to
+ * one multi-beat POINT_EUCLID / POINT_ANGULAR instruction.
  */
 
 #ifndef HSU_SEARCH_GGNN_HH
@@ -23,18 +23,13 @@
 
 #include "hsu/isa.hh"
 #include "search/layout.hh"
+#include "sim/ir.hh"
+#include "sim/lower.hh"
 #include "sim/trace.hh"
 #include "structures/graph.hh"
 
 namespace hsu
 {
-
-/** Which trace flavor a kernel emits. */
-enum class KernelVariant : std::uint8_t
-{
-    Baseline, //!< non-RT GPU: everything on the SIMD pipelines
-    Hsu       //!< distance/box/key ops offloaded to the HSU
-};
 
 /** GGNN kernel parameters. */
 struct GgnnConfig
@@ -44,7 +39,15 @@ struct GgnnConfig
     HnswParams graphParams{};
 };
 
-/** Execution artifacts: functional results + the emitted trace. */
+/** Emission artifacts: functional results + the semantic trace. */
+struct GgnnEmit
+{
+    SemKernelTrace sem;
+    std::vector<std::vector<Neighbor>> results; //!< per query, sorted
+    std::uint64_t distanceTests = 0;            //!< candidate evals
+};
+
+/** Execution artifacts: functional results + the lowered trace. */
 struct GgnnRun
 {
     KernelTrace trace;
@@ -63,20 +66,24 @@ class GgnnKernel
     GgnnKernel(const HnswGraph &graph, GgnnConfig cfg);
 
     /**
-     * Run all @p queries functionally and emit the warp traces.
-     * One warp per query.
+     * Run all @p queries functionally and emit the semantic warp
+     * traces. One warp per query. Variant-free: lower the result with
+     * lowerTrace() to pick an instruction flavor.
      */
+    GgnnEmit emit(const PointSet &queries) const;
+
+    /** emit() + lowerTrace() convenience (legacy two-point API). */
     GgnnRun run(const PointSet &queries, KernelVariant variant,
                 const DatapathConfig &dp = DatapathConfig{}) const;
 
   private:
     struct EmitCtx;
 
-    /** Evaluate distances from the query to @p cands, emitting either
-     *  the baseline instruction sequence or one HSU instruction. */
+    /** Evaluate distances from the query to @p cands as one semantic
+     *  DistanceBatch op. */
     void emitDistanceBatch(EmitCtx &ctx,
                            const std::vector<std::uint32_t> &cands,
-                           std::uint32_t consume_token_mask,
+                           VirtToken consume,
                            std::vector<float> &dists_out) const;
 
     const HnswGraph &graph_;

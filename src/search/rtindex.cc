@@ -68,14 +68,13 @@ RtindexKernel::RtindexKernel(std::vector<std::uint32_t> keys)
     resultBase_ = alloc_.allocate(1u << 22, 128);
 }
 
-RtindexRun
-RtindexKernel::run(const std::vector<std::uint32_t> &probes,
-                   KernelVariant variant, const DatapathConfig &dp) const
+RtindexEmit
+RtindexKernel::emit(const std::vector<std::uint32_t> &probes,
+                    RtindexForm form) const
 {
-    (void)dp; // all RTIndeX operations are single-beat
-    RtindexRun out;
+    RtindexEmit out;
     out.found.resize(probes.size(), false);
-    const bool tri_form = variant == KernelVariant::Baseline;
+    const bool tri_form = form == RtindexForm::Tri;
     out.leafBytesPerKey = tri_form ? 36 : 4;
     const Lbvh &index = tri_form ? triBvh_ : bvh_;
     const RecordArrayLayout &node_layout =
@@ -84,11 +83,11 @@ RtindexKernel::run(const std::vector<std::uint32_t> &probes,
 
     const std::size_t num_warps =
         (probes.size() + kWarpSize - 1) / kWarpSize;
-    out.trace.warps.reserve(num_warps);
+    out.sem.warps.reserve(num_warps);
 
     for (std::size_t w = 0; w < num_warps; ++w) {
-        out.trace.warps.emplace_back();
-        TraceBuilder tb(out.trace.warps.back());
+        out.sem.warps.emplace_back();
+        SemBuilder sb(out.sem.warps.back());
 
         struct Lane
         {
@@ -108,9 +107,9 @@ RtindexKernel::run(const std::vector<std::uint32_t> &probes,
         }
 
         // Load probe keys and derive ray origins.
-        tb.loadPattern(queryBase_ + w * kWarpSize * 4, 4, 4, alive);
-        tb.alu(6, alive); // key -> ray origin/direction constants
-        tb.shared(2, alive);
+        sb.loadPattern(queryBase_ + w * kWarpSize * 4, 4, 4, alive);
+        sb.alu(6, alive); // key -> ray origin/direction constants
+        sb.shared(2, alive);
 
         for (;;) {
             std::uint32_t m_int = 0, m_leaf = 0;
@@ -129,10 +128,10 @@ RtindexKernel::run(const std::vector<std::uint32_t> &probes,
             const std::uint32_t m_any = m_int | m_leaf;
             if (!m_any)
                 break;
-            tb.shared(1, m_any);
+            sb.shared(1, m_any);
 
             if (m_int) {
-                // Box tests run on the unit in BOTH variants: the
+                // Box tests run on the unit in BOTH forms: the
                 // comparison isolates the leaf representation.
                 std::uint64_t addrs[kWarpSize] = {};
                 for (unsigned l = 0; l < kWarpSize; ++l) {
@@ -141,11 +140,10 @@ RtindexKernel::run(const std::vector<std::uint32_t> &probes,
                             static_cast<std::uint64_t>(curn[l]));
                     }
                 }
-                const std::uint8_t tok =
-                    tb.hsuOp(HsuOpcode::RayIntersect, HsuMode::RayBox,
-                             addrs, 64, 1, m_int);
-                tb.alu(3, m_int, TraceBuilder::tokenMask(tok));
-                tb.shared(2, m_int);
+                const VirtToken tok =
+                    sb.boxTest(addrs, m_int, rtindexBoxShape());
+                sb.alu(3, m_int, {tok});
+                sb.shared(2, m_int);
 
                 for (unsigned l = 0; l < kWarpSize; ++l) {
                     if (!(m_int & (1u << l)))
@@ -173,24 +171,20 @@ RtindexKernel::run(const std::vector<std::uint32_t> &probes,
                     const auto prim = static_cast<std::uint64_t>(
                         nodes[static_cast<std::size_t>(curn[l])]
                             .primitive);
-                    addrs[l] = variant == KernelVariant::Baseline
-                        ? triLeafLayout_.at(prim)
-                        : keyLeafLayout_.at(prim);
+                    addrs[l] = tri_form ? triLeafLayout_.at(prim)
+                                        : keyLeafLayout_.at(prim);
                 }
-                std::uint8_t tok;
-                if (variant == KernelVariant::Baseline) {
+                VirtToken tok;
+                if (tri_form) {
                     // Ray-triangle exact-match test on the unit.
-                    tok = tb.hsuOp(HsuOpcode::RayIntersect,
-                                   HsuMode::RayTri, addrs, 48, 1,
-                                   m_leaf);
+                    tok = sb.triTest(addrs, 48, m_leaf);
                 } else {
                     // Native key probe: one KEY_COMPARE covers the
                     // whole leaf's key range.
-                    tok = tb.hsuOp(HsuOpcode::KeyCompare,
-                                   HsuMode::KeyCompare, addrs,
-                                   kKeysPerLeaf * 4, 1, m_leaf);
+                    tok = sb.keyCompareProbe(addrs, kKeysPerLeaf * 4,
+                                             m_leaf);
                 }
-                tb.alu(2, m_leaf, TraceBuilder::tokenMask(tok));
+                sb.alu(2, m_leaf, {tok});
 
                 for (unsigned l = 0; l < kWarpSize; ++l) {
                     if (!(m_leaf & (1u << l)))
@@ -214,8 +208,22 @@ RtindexKernel::run(const std::vector<std::uint32_t> &probes,
                 }
             }
         }
-        tb.storePattern(resultBase_ + w * kWarpSize * 4, 4, 4, alive);
+        sb.storePattern(resultBase_ + w * kWarpSize * 4, 4, 4, alive);
     }
+    return out;
+}
+
+RtindexRun
+RtindexKernel::run(const std::vector<std::uint32_t> &probes,
+                   KernelVariant variant, const DatapathConfig &dp) const
+{
+    RtindexEmit e = emit(probes, variant == KernelVariant::Baseline
+                                     ? RtindexForm::Tri
+                                     : RtindexForm::Native);
+    RtindexRun out;
+    out.trace = lowerTrace(e.sem, loweringFor(variant, dp));
+    out.found = std::move(e.found);
+    out.leafBytesPerKey = e.leafBytesPerKey;
     return out;
 }
 

@@ -32,10 +32,31 @@
 namespace hsu
 {
 
+/**
+ * Which key representation the index probes. Unlike the other kernels,
+ * this is a DATA-STRUCTURE choice, not a lowering: both forms run
+ * their box and leaf tests on the RT unit (the experiment isolates the
+ * leaf representation on RT hardware), so every semantic op emitted
+ * here is unit-resident and lowers identically under every Lowering.
+ */
+enum class RtindexForm : std::uint8_t
+{
+    Tri,    //!< RTIndeX triangle primitives, ray-tri leaf tests
+    Native, //!< native 4B keys, KEY_COMPARE leaf probes
+};
+
 /** Run artifacts. */
 struct RtindexRun
 {
     KernelTrace trace;
+    std::vector<bool> found;
+    std::uint64_t leafBytesPerKey = 0; //!< 36 (triangle) or 4 (native)
+};
+
+/** Emission artifacts: functional results + the semantic trace. */
+struct RtindexEmit
+{
+    SemKernelTrace sem;
     std::vector<bool> found;
     std::uint64_t leafBytesPerKey = 0; //!< 36 (triangle) or 4 (native)
 };
@@ -47,10 +68,15 @@ class RtindexKernel
     /** Build the index over sorted unique @p keys. */
     explicit RtindexKernel(std::vector<std::uint32_t> keys);
 
+    /** Look up @p probes (32 per warp) against the @p form index and
+     *  emit semantic traces. */
+    RtindexEmit emit(const std::vector<std::uint32_t> &probes,
+                     RtindexForm form) const;
+
     /**
-     * Look up @p probes (32 per warp). Variant selects the key
-     * representation: Baseline = triangle primitives (RT unit),
-     * Hsu = native keys (KEY_COMPARE).
+     * Legacy two-point API: the variant maps to the key
+     * representation (Baseline = Tri on the stock RT unit,
+     * Hsu = Native with KEY_COMPARE).
      */
     RtindexRun run(const std::vector<std::uint32_t> &probes,
                    KernelVariant variant,

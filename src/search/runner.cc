@@ -255,9 +255,10 @@ servePool(DatasetId id, std::size_t pool_size)
     });
 }
 
-KernelTrace
-emitTrace(Algo algo, DatasetId id, KernelVariant variant,
-          const DatapathConfig &dp, const RunnerOptions &opts)
+} // namespace
+
+SemKernelTrace
+emitSemantic(Algo algo, DatasetId id, const RunnerOptions &opts)
 {
     const DatasetInfo &info = datasetInfo(id);
     switch (algo) {
@@ -265,31 +266,29 @@ emitTrace(Algo algo, DatasetId id, KernelVariant variant,
         const auto &a = ggnnAssets(id);
         const PointSet queries =
             generateQueries(info, opts.ggnnQueries);
-        return a.kernel->run(queries, variant, dp).trace;
+        return a.kernel->emit(queries).sem;
       }
       case Algo::Flann: {
         const auto &a = pointAssets(id);
         const PointSet queries =
             generateQueries(info, opts.pointQueries);
-        return a.flannKernel->run(queries, variant, dp).trace;
+        return a.flannKernel->emit(queries).sem;
       }
       case Algo::Bvhnn: {
         const auto &a = pointAssets(id);
         const PointSet queries =
             generateQueries(info, opts.pointQueries);
-        return a.bvhKernel->run(queries, variant, dp).trace;
+        return a.bvhKernel->emit(queries).sem;
       }
       case Algo::Btree: {
         const auto &a = keyAssets(id);
         const std::vector<std::uint32_t> queries =
             generateKeyQueries(info, opts.keyQueries);
-        return a.kernel->run(queries, variant, dp).trace;
+        return a.kernel->emit(queries).sem;
       }
     }
     hsu_panic("unknown algo");
 }
-
-} // namespace
 
 KernelTrace
 emitBatchTrace(Algo algo, DatasetId dataset, KernelVariant variant,
@@ -346,14 +345,23 @@ emitBatchTrace(Algo algo, DatasetId dataset, KernelVariant variant,
 }
 
 RunResult
+runLowered(Algo algo, DatasetId dataset, const GpuConfig &gpu,
+           const RunnerOptions &opts, const Lowering &lowering,
+           StatGroup &stats)
+{
+    const KernelTrace trace =
+        lowerTrace(emitSemantic(algo, dataset, opts), lowering);
+    return simulateKernel(gpu, trace, stats);
+}
+
+RunResult
 runHsuOnly(Algo algo, DatasetId dataset, const GpuConfig &gpu,
            const RunnerOptions &opts, StatGroup &stats)
 {
     GpuConfig cfg = gpu;
     cfg.rtUnitEnabled = true;
-    const KernelTrace trace =
-        emitTrace(algo, dataset, KernelVariant::Hsu, cfg.datapath, opts);
-    return simulateKernel(cfg, trace, stats);
+    return runLowered(algo, dataset, cfg, opts,
+                      Lowering::hsu(cfg.datapath), stats);
 }
 
 RunResult
@@ -362,10 +370,8 @@ runBaseOnly(Algo algo, DatasetId dataset, const GpuConfig &gpu,
 {
     GpuConfig cfg = gpu;
     cfg.rtUnitEnabled = false;
-    const KernelTrace trace = emitTrace(algo, dataset,
-                                        KernelVariant::Baseline,
-                                        cfg.datapath, opts);
-    return simulateKernel(cfg, trace, stats);
+    return runLowered(algo, dataset, cfg, opts,
+                      Lowering::baseline(cfg.datapath), stats);
 }
 
 WorkloadResult

@@ -83,6 +83,24 @@ WorkloadResult runWorkload(Algo algo, DatasetId dataset,
                            const RunnerOptions &opts = RunnerOptions{});
 
 /**
+ * Emit the semantic (pre-lowering) trace of one (algorithm, dataset)
+ * experiment — the IR every lowering variant of the workload shares.
+ * Benches that sweep lowerings emit once and lower per point.
+ */
+SemKernelTrace emitSemantic(Algo algo, DatasetId dataset,
+                            const RunnerOptions &opts);
+
+/**
+ * Simulate one (algorithm, dataset) experiment under an explicit
+ * lowering. The GPU config is used as given (callers enable the RT
+ * unit when the lowering emits CISC instructions); runBaseOnly /
+ * runHsuOnly are the two-point conveniences over this.
+ */
+RunResult runLowered(Algo algo, DatasetId dataset, const GpuConfig &gpu,
+                     const RunnerOptions &opts, const Lowering &lowering,
+                     StatGroup &stats);
+
+/**
  * Run only the HSU-side simulation (sweeps that hold the baseline
  * fixed, e.g. Fig 10 / Fig 11, reuse the memoized baseline cycles from
  * runWorkload).

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * The semantic kernel IR: what a search kernel computes, independent of
+ * how a GPU executes it.
+ *
+ * The paper's methodology is a trace post-processor: kernels are run
+ * once, and an Accel-Sim pass rewrites the SASS sequences that the HSU
+ * can subsume into CISC instructions. We mirror that split. Kernels
+ * emit a *semantic* trace — pass-through Alu/Shared/Load/Store ops
+ * interleaved with semantic batch ops (`DistanceBatch`,
+ * `KeyCompareBatch`, `BoxTestBatch`, `TriTest`) — and a separate
+ * lowering pass (sim/lower.hh) rewrites each semantic op into either
+ * the baseline SIMD instruction sequence or the HSU CISC instruction.
+ * Kernels therefore contain no per-variant emission at all: the
+ * baseline/HSU divergence lives in exactly one place.
+ *
+ * Dependencies are expressed with *virtual tokens*: dense per-warp ids
+ * handed out by the builder. Lowering maps each virtual token to the
+ * concrete scoreboard-token mask of whatever instruction(s) carry the
+ * dependency under that lowering — e.g. a lane-parallel DistanceBatch's
+ * token maps to the HSU instruction's token under the HSU lowering, and
+ * to the empty mask under the baseline lowering (where the baseline
+ * FMA block already consumed its operand loads internally).
+ */
+
+#ifndef HSU_SIM_IR_HH
+#define HSU_SIM_IR_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/trace.hh"
+#include "structures/graph.hh" // Metric
+
+namespace hsu
+{
+
+/** Virtual dependency token (dense per-warp id). */
+using VirtToken = std::int32_t;
+
+/** Sentinel: no virtual token. */
+constexpr VirtToken kNoVirt = -1;
+
+/** Semantic trace op kinds. The first four are pass-through. */
+enum class SemKind : std::uint8_t
+{
+    Alu,      //!< `count` SIMD ALU instructions (never rewritten)
+    Shared,   //!< `count` shared-memory instructions
+    Load,     //!< one global load
+    Store,    //!< one global store
+    Distance, //!< metric-distance evaluations (DistanceBatch)
+    KeyCompare, //!< key-vs-separator comparisons (KeyCompareBatch)
+    BoxTest,  //!< AABB slab tests over one node per lane (BoxTestBatch)
+    TriTest,  //!< exact ray-triangle tests (unit-resident)
+};
+
+/**
+ * Baseline/HSU instruction-shape parameters of one DistanceBatch. The
+ * counts are per-kernel calibrations of the SASS each kernel's baseline
+ * actually executes; the shape catalog in sim/lower.hh documents every
+ * field. Emission logic lives in the lowering pass — kernels only name
+ * their shape.
+ */
+struct DistanceShape
+{
+    /** GGNN style: candidates processed one at a time by the whole
+     *  warp (coalesced pattern loads + shuffle reduction). Otherwise
+     *  lane-parallel: one candidate per lane (gather loads). */
+    bool warpCooperative = false;
+    // Baseline operand loads: chunkCount loads of chunkBytes at
+    // chunkStep intervals per candidate.
+    std::uint16_t chunkCount = 1;
+    std::uint16_t chunkStep = 0;
+    std::uint16_t chunkBytes = 4;
+    std::uint16_t perChunkAlu = 0; //!< FMA block after each chunk load
+    std::uint16_t reduceAlu = 0;   //!< reduction/compare block
+    std::uint16_t epilogueAlu = 0; //!< non-offloadable keep/compare ops
+    /** HSU: SM-side scalar block consuming the CISC result (angular
+     *  rsqrt/divide, eq. 2). 0 = the instruction's token escapes to
+     *  the consumer recorded in the IR instead. */
+    std::uint8_t trailingAlu = 0;
+};
+
+/**
+ * Baseline shape of one BoxTestBatch: the node fetch is blChunks 16B
+ * vector loads and the slab tests + hit ordering are blAlu SIMD ops.
+ */
+struct BoxShape
+{
+    std::uint16_t nodeBytes = 64;  //!< CISC fetch size (box node)
+    std::uint16_t blChunks = 4;    //!< baseline 16B loads per node
+    std::uint16_t blAlu = 30;      //!< baseline slab-test ALU block
+    /** True for kernels whose box tests run on the RT unit in every
+     *  evaluated configuration (RTIndeX: the baseline GPU has an RT
+     *  core; the comparison isolates the leaf representation). */
+    bool unitResident = false;
+};
+
+/** One semantic trace op. Fields beyond the common block are only
+ *  meaningful for the kind that uses them (see SemBuilder). */
+struct SemOp
+{
+    SemKind kind = SemKind::Alu;
+    std::uint32_t activeMask = kFullMask;
+    std::uint16_t count = 1;       //!< Alu/Shared instruction count
+    std::uint16_t bytesPerLane = 4;
+    bool offloadable = false;      //!< pass-through Fig-7 attribution
+    VirtToken produces = kNoVirt;
+    /** Consumed virtual tokens: consumeCount entries starting at
+     *  consumeOffset in the warp's consumePool. */
+    std::uint32_t consumeOffset = 0;
+    std::uint32_t consumeCount = 0;
+    /** Load/Store pattern addressing; semantic ops use poolIndex into
+     *  the warp's addrPool (always kWarpSize lane addresses). */
+    AddrGen addr;
+
+    // --- Distance ---------------------------------------------------
+    Metric metric = Metric::Euclidean;
+    std::uint16_t dim = 0;
+    std::uint16_t nCands = 0;      //!< warp-cooperative candidate count
+    DistanceShape dist;
+
+    // --- KeyCompare -------------------------------------------------
+    std::uint32_t nKeys = 0;       //!< WarpScan separator count
+    /** LaneProbe form: one node per lane, unit-resident (RTIndeX
+     *  native leaves). WarpScan form (nKeys > 0): one node scanned by
+     *  the whole warp, offloadable (B+tree descent). */
+    bool laneProbe = false;
+
+    // --- BoxTest ----------------------------------------------------
+    BoxShape box;
+};
+
+/** The semantic trace of one warp. */
+struct SemWarpTrace
+{
+    std::vector<SemOp> ops;
+    std::vector<std::uint64_t> addrPool;   //!< kWarpSize-entry blocks
+    std::vector<VirtToken> consumePool;    //!< flattened consume lists
+    std::uint32_t numVirtTokens = 0;
+};
+
+/** A kernel launch in semantic form: one semantic trace per warp. */
+struct SemKernelTrace
+{
+    std::vector<SemWarpTrace> warps;
+
+    std::size_t
+    totalOps() const
+    {
+        std::size_t n = 0;
+        for (const auto &w : warps)
+            n += w.ops.size();
+        return n;
+    }
+};
+
+/**
+ * Builder for one warp's semantic trace. Mirrors TraceBuilder, but
+ * token-producing ops return virtual tokens and consumers name virtual
+ * tokens; concrete scoreboard tokens exist only after lowering.
+ */
+class SemBuilder
+{
+  public:
+    explicit SemBuilder(SemWarpTrace &trace) : trace_(trace) {}
+
+    /** Consume-list argument: any iterable of VirtToken; kNoVirt
+     *  entries are skipped so callers can pass optional tokens. */
+    using Consumes = std::initializer_list<VirtToken>;
+
+    void
+    alu(unsigned count, std::uint32_t mask = kFullMask,
+        Consumes consumes = {}, bool offloadable = false)
+    {
+        if (count == 0)
+            return;
+        SemOp op;
+        op.kind = SemKind::Alu;
+        op.activeMask = mask;
+        op.count = clampCount(count);
+        op.offloadable = offloadable;
+        setConsumes(op, consumes.begin(), consumes.size());
+        trace_.ops.push_back(op);
+    }
+
+    /** alu() with a dynamic consume list (software-pipelined folds). */
+    void
+    aluConsuming(unsigned count, std::uint32_t mask,
+                 const std::vector<VirtToken> &consumes)
+    {
+        if (count == 0)
+            return;
+        SemOp op;
+        op.kind = SemKind::Alu;
+        op.activeMask = mask;
+        op.count = clampCount(count);
+        setConsumes(op, consumes.data(), consumes.size());
+        trace_.ops.push_back(op);
+    }
+
+    void
+    shared(unsigned count, std::uint32_t mask = kFullMask,
+           Consumes consumes = {})
+    {
+        if (count == 0)
+            return;
+        SemOp op;
+        op.kind = SemKind::Shared;
+        op.activeMask = mask;
+        op.count = clampCount(count);
+        setConsumes(op, consumes.begin(), consumes.size());
+        trace_.ops.push_back(op);
+    }
+
+    VirtToken
+    loadPattern(std::uint64_t base, std::int32_t stride,
+                unsigned bytes_per_lane, std::uint32_t mask = kFullMask,
+                bool offloadable = false)
+    {
+        SemOp op;
+        op.kind = SemKind::Load;
+        op.activeMask = mask;
+        op.bytesPerLane = static_cast<std::uint16_t>(bytes_per_lane);
+        op.addr.base = base;
+        op.addr.stride = stride;
+        op.offloadable = offloadable;
+        op.produces = nextVirt();
+        trace_.ops.push_back(op);
+        return op.produces;
+    }
+
+    VirtToken
+    loadGather(const std::uint64_t *lane_addrs, unsigned bytes_per_lane,
+               std::uint32_t mask, bool offloadable = false)
+    {
+        SemOp op;
+        op.kind = SemKind::Load;
+        op.activeMask = mask;
+        op.bytesPerLane = static_cast<std::uint16_t>(bytes_per_lane);
+        op.addr.poolIndex = pushAddrs(lane_addrs);
+        op.offloadable = offloadable;
+        op.produces = nextVirt();
+        trace_.ops.push_back(op);
+        return op.produces;
+    }
+
+    void
+    storePattern(std::uint64_t base, std::int32_t stride,
+                 unsigned bytes_per_lane, std::uint32_t mask = kFullMask)
+    {
+        SemOp op;
+        op.kind = SemKind::Store;
+        op.activeMask = mask;
+        op.bytesPerLane = static_cast<std::uint16_t>(bytes_per_lane);
+        op.addr.base = base;
+        op.addr.stride = stride;
+        trace_.ops.push_back(op);
+    }
+
+    /**
+     * Warp-cooperative DistanceBatch (GGNN): @p n_cands candidate
+     * points evaluated against the warp's query; candidate base
+     * addresses in @p cand_addrs (kWarpSize entries; [n_cands..) are
+     * don't-care but still recorded, matching the emitted operand of
+     * the multi-beat CISC instruction). Fully encapsulated: both
+     * lowerings consume the result on the SM internally.
+     */
+    void
+    distanceWarpCoop(Metric metric, unsigned dim,
+                     const std::uint64_t *cand_addrs, unsigned n_cands,
+                     const DistanceShape &shape, Consumes consumes = {})
+    {
+        hsu_assert(n_cands >= 1 && n_cands <= kWarpSize,
+                   "bad candidate batch size ", n_cands);
+        SemOp op;
+        op.kind = SemKind::Distance;
+        op.activeMask = lowLanes(n_cands);
+        op.metric = metric;
+        op.dim = static_cast<std::uint16_t>(dim);
+        op.nCands = static_cast<std::uint16_t>(n_cands);
+        op.dist = shape;
+        op.addr.poolIndex = pushAddrs(cand_addrs);
+        setConsumes(op, consumes.begin(), consumes.size());
+        trace_.ops.push_back(op);
+    }
+
+    /**
+     * Lane-parallel DistanceBatch (FLANN / BVH-NN leaves): one
+     * candidate per active lane.
+     * @return virtual token of the batch's result: the CISC token
+     * under the HSU lowering, empty under the baseline lowering (the
+     * FMA block consumes its loads internally).
+     */
+    VirtToken
+    distanceLanes(unsigned dim, const std::uint64_t *lane_addrs,
+                  std::uint32_t mask, const DistanceShape &shape)
+    {
+        SemOp op;
+        op.kind = SemKind::Distance;
+        op.activeMask = mask;
+        op.metric = Metric::Euclidean;
+        op.dim = static_cast<std::uint16_t>(dim);
+        op.dist = shape;
+        op.addr.poolIndex = pushAddrs(lane_addrs);
+        op.produces = nextVirt();
+        trace_.ops.push_back(op);
+        return op.produces;
+    }
+
+    /**
+     * Warp-scan KeyCompareBatch (B+tree descent): @p n_keys separators
+     * at @p sep_addr scanned by the whole warp. Fully encapsulated.
+     */
+    void
+    keyCompareScan(std::uint64_t sep_addr, unsigned n_keys)
+    {
+        hsu_assert(n_keys >= 1, "empty separator scan");
+        SemOp op;
+        op.kind = SemKind::KeyCompare;
+        op.addr.base = sep_addr;
+        op.nKeys = n_keys;
+        trace_.ops.push_back(op);
+    }
+
+    /**
+     * Lane-probe KeyCompareBatch (RTIndeX native leaves): one leaf key
+     * range per lane, unit-resident (lowers to KEY_COMPARE under every
+     * lowering — the experiment's baseline GPU has the unit).
+     * @return virtual token of the KEY_COMPARE instruction.
+     */
+    VirtToken
+    keyCompareProbe(const std::uint64_t *lane_addrs,
+                    unsigned bytes_per_lane, std::uint32_t mask)
+    {
+        SemOp op;
+        op.kind = SemKind::KeyCompare;
+        op.laneProbe = true;
+        op.activeMask = mask;
+        op.bytesPerLane = static_cast<std::uint16_t>(bytes_per_lane);
+        op.addr.poolIndex = pushAddrs(lane_addrs);
+        op.produces = nextVirt();
+        trace_.ops.push_back(op);
+        return op.produces;
+    }
+
+    /**
+     * BoxTestBatch: one box node per active lane, slab tests against
+     * the lane's query.
+     * @return virtual token of the batch's result (RAY_INTERSECT token
+     * under the HSU lowering, empty under baseline).
+     */
+    VirtToken
+    boxTest(const std::uint64_t *lane_addrs, std::uint32_t mask,
+            const BoxShape &shape)
+    {
+        SemOp op;
+        op.kind = SemKind::BoxTest;
+        op.activeMask = mask;
+        op.box = shape;
+        op.addr.poolIndex = pushAddrs(lane_addrs);
+        op.produces = nextVirt();
+        trace_.ops.push_back(op);
+        return op.produces;
+    }
+
+    /**
+     * TriTest: one triangle node per active lane, exact ray-triangle
+     * match. Unit-resident (triangle tests exist only on the RT core;
+     * no evaluated configuration runs them on the SIMD pipelines).
+     * @return virtual token of the RAY_INTERSECT instruction.
+     */
+    VirtToken
+    triTest(const std::uint64_t *lane_addrs, unsigned bytes_per_lane,
+            std::uint32_t mask)
+    {
+        SemOp op;
+        op.kind = SemKind::TriTest;
+        op.activeMask = mask;
+        op.bytesPerLane = static_cast<std::uint16_t>(bytes_per_lane);
+        op.addr.poolIndex = pushAddrs(lane_addrs);
+        op.produces = nextVirt();
+        trace_.ops.push_back(op);
+        return op.produces;
+    }
+
+    /** Active mask with the low @p n lanes set. */
+    static std::uint32_t
+    lowLanes(unsigned n)
+    {
+        hsu_assert(n <= kWarpSize, "too many lanes: ", n);
+        return n == kWarpSize ? kFullMask : ((1u << n) - 1u);
+    }
+
+  private:
+    template <typename It>
+    void
+    setConsumes(SemOp &op, It first, std::size_t n)
+    {
+        op.consumeOffset =
+            static_cast<std::uint32_t>(trace_.consumePool.size());
+        for (std::size_t i = 0; i < n; ++i, ++first) {
+            if (*first == kNoVirt)
+                continue;
+            trace_.consumePool.push_back(*first);
+            ++op.consumeCount;
+        }
+    }
+
+    std::int32_t
+    pushAddrs(const std::uint64_t *lane_addrs)
+    {
+        const auto idx =
+            static_cast<std::int32_t>(trace_.addrPool.size());
+        trace_.addrPool.insert(trace_.addrPool.end(), lane_addrs,
+                               lane_addrs + kWarpSize);
+        return idx;
+    }
+
+    VirtToken
+    nextVirt()
+    {
+        return static_cast<VirtToken>(trace_.numVirtTokens++);
+    }
+
+    static std::uint16_t
+    clampCount(unsigned count)
+    {
+        hsu_assert(count <= 0xffff, "op count overflow: ", count);
+        return static_cast<std::uint16_t>(count);
+    }
+
+    SemWarpTrace &trace_;
+};
+
+} // namespace hsu
+
+#endif // HSU_SIM_IR_HH

@@ -1,0 +1,337 @@
+#include "sim/lower.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+namespace
+{
+
+/** Lowers one warp's semantic trace into @p out. */
+class WarpLowerer
+{
+  public:
+    WarpLowerer(const SemWarpTrace &sem, WarpTrace &out,
+                const Lowering &low)
+        : sem_(sem), out_(out), low_(low), tb_(out),
+          virtMask_(sem.numVirtTokens, 0u),
+          fraction_(std::clamp(low.fraction, 0.0, 1.0))
+    {
+    }
+
+    void
+    run()
+    {
+        for (const SemOp &op : sem_.ops) {
+            const std::size_t start = out_.ops.size();
+            switch (op.kind) {
+              case SemKind::Alu:
+                tb_.alu(op.count, op.activeMask, consumeMask(op),
+                        op.offloadable);
+                break;
+              case SemKind::Shared:
+                tb_.shared(op.count, op.activeMask, consumeMask(op));
+                break;
+              case SemKind::Load: {
+                std::uint8_t tok;
+                if (op.addr.poolIndex >= 0) {
+                    tok = tb_.loadGather(pool(op), op.bytesPerLane,
+                                         op.activeMask, op.offloadable);
+                } else {
+                    tok = tb_.loadPattern(op.addr.base, op.addr.stride,
+                                          op.bytesPerLane, op.activeMask,
+                                          op.offloadable);
+                }
+                bind(op, TraceBuilder::tokenMask(tok));
+                break;
+              }
+              case SemKind::Store:
+                tb_.storePattern(op.addr.base, op.addr.stride,
+                                 op.bytesPerLane, op.activeMask);
+                break;
+              case SemKind::Distance:
+                lowerDistance(op, offloadDecision(SemKind::Distance));
+                stamp(start, TraceOrigin::Distance);
+                break;
+              case SemKind::KeyCompare:
+                if (op.laneProbe)
+                    lowerKeyProbe(op); // unit-resident
+                else
+                    lowerKeyScan(op,
+                                 offloadDecision(SemKind::KeyCompare));
+                stamp(start, TraceOrigin::KeyCompare);
+                break;
+              case SemKind::BoxTest:
+                lowerBoxTest(op, op.box.unitResident ||
+                                     offloadDecision(SemKind::BoxTest));
+                stamp(start, TraceOrigin::BoxTest);
+                break;
+              case SemKind::TriTest: {
+                // Triangle tests exist only on the RT unit.
+                const std::uint8_t tok = tb_.hsuOp(
+                    HsuOpcode::RayIntersect, HsuMode::RayTri, pool(op),
+                    op.bytesPerLane, 1, op.activeMask, consumeMask(op));
+                bind(op, TraceBuilder::tokenMask(tok));
+                stamp(start, TraceOrigin::TriTest);
+                break;
+              }
+            }
+        }
+    }
+
+  private:
+    /** Should this offloadable semantic op become a CISC instruction? */
+    bool
+    offloadDecision(SemKind kind)
+    {
+        switch (low_.kind) {
+          case Lowering::Kind::Baseline:
+            return false;
+          case Lowering::Kind::Hsu:
+            return true;
+          case Lowering::Kind::PartialOffload: {
+            if (low_.policy == OffloadPolicy::ByKind)
+                return (low_.kindMask & Lowering::kindBit(kind)) != 0;
+            // ModuloN: spread the offloaded share evenly over the
+            // warp's offloadable ops in emission order.
+            const double i = static_cast<double>(offloadSite_++);
+            return std::floor((i + 1.0) * fraction_) >
+                   std::floor(i * fraction_);
+          }
+        }
+        hsu_panic("unknown lowering kind");
+    }
+
+    /** Concrete scoreboard mask of the op's consumed virtual tokens. */
+    std::uint32_t
+    consumeMask(const SemOp &op) const
+    {
+        std::uint32_t mask = 0;
+        for (std::uint32_t i = 0; i < op.consumeCount; ++i)
+            mask |= virtMask_[static_cast<std::size_t>(
+                sem_.consumePool[op.consumeOffset + i])];
+        return mask;
+    }
+
+    /** Resolve the op's produced virtual token to @p concrete. */
+    void
+    bind(const SemOp &op, std::uint32_t concrete)
+    {
+        if (op.produces != kNoVirt)
+            virtMask_[static_cast<std::size_t>(op.produces)] = concrete;
+    }
+
+    /** Per-lane address block of a semantic op. */
+    const std::uint64_t *
+    pool(const SemOp &op) const
+    {
+        hsu_assert(op.addr.poolIndex >= 0, "semantic op without addrs");
+        return sem_.addrPool.data() +
+               static_cast<std::size_t>(op.addr.poolIndex);
+    }
+
+    /** Stamp provenance on everything emitted since @p start. */
+    void
+    stamp(std::size_t start, TraceOrigin origin)
+    {
+        for (std::size_t i = start; i < out_.ops.size(); ++i)
+            out_.ops[i].origin = origin;
+    }
+
+    void
+    lowerDistance(const SemOp &op, bool offload)
+    {
+        const DistanceShape &s = op.dist;
+        const bool angular = op.metric == Metric::Angular;
+        if (op.dist.warpCooperative)
+            lowerDistanceWarpCoop(op, s, angular, offload);
+        else
+            lowerDistanceLanes(op, s, offload);
+    }
+
+    /** GGNN form: candidates one at a time, whole warp cooperating. */
+    void
+    lowerDistanceWarpCoop(const SemOp &op, const DistanceShape &s,
+                          bool angular, bool offload)
+    {
+        if (offload) {
+            const HsuMode mode =
+                angular ? HsuMode::Angular : HsuMode::Euclid;
+            const unsigned beats = angular
+                                       ? low_.dp.angularBeats(op.dim)
+                                       : low_.dp.euclidBeats(op.dim);
+            const std::uint8_t tok = tb_.hsuOp(
+                angular ? HsuOpcode::PointAngular
+                        : HsuOpcode::PointEuclid,
+                mode, pool(op), low_.dp.bytesPerBeat(mode), beats,
+                op.activeMask, consumeMask(op));
+            tb_.alu(s.trailingAlu, op.activeMask,
+                    TraceBuilder::tokenMask(tok));
+            return;
+        }
+        lowerDistanceBaseline(op, s, /*per_candidate=*/true);
+    }
+
+    /** FLANN / BVH-NN form: one candidate per lane. */
+    void
+    lowerDistanceLanes(const SemOp &op, const DistanceShape &s,
+                       bool offload)
+    {
+        if (offload) {
+            const std::uint8_t tok = tb_.hsuOp(
+                HsuOpcode::PointEuclid, HsuMode::Euclid, pool(op),
+                std::min(low_.dp.euclidWidth, unsigned(op.dim)) * 4,
+                low_.dp.euclidBeats(op.dim), op.activeMask,
+                consumeMask(op));
+            bind(op, TraceBuilder::tokenMask(tok));
+            return;
+        }
+        lowerDistanceBaseline(op, s, /*per_candidate=*/false);
+        bind(op, 0u); // the FMA block consumed the loads internally
+    }
+
+    /**
+     * The shared baseline distance expansion (all three distance
+     * kernels route here; the DistanceShape carries their per-kernel
+     * calibrations). Warp-cooperative batches expand per candidate
+     * with coalesced pattern loads; lane-parallel batches expand once
+     * with gather loads.
+     */
+    void
+    lowerDistanceBaseline(const SemOp &op, const DistanceShape &s,
+                          bool per_candidate)
+    {
+        if (per_candidate) {
+            const std::uint64_t *addrs = pool(op);
+            const std::uint32_t consumed = consumeMask(op);
+            for (unsigned i = 0; i < op.nCands; ++i) {
+                std::uint32_t toks = consumed;
+                for (unsigned c = 0; c < s.chunkCount; ++c) {
+                    const std::uint8_t t = tb_.loadPattern(
+                        addrs[i] + c * std::uint64_t(s.chunkStep),
+                        s.chunkBytes, s.chunkBytes, kFullMask, true);
+                    toks |= TraceBuilder::tokenMask(t);
+                    tb_.alu(s.perChunkAlu, kFullMask, 0, true);
+                }
+                tb_.alu(s.reduceAlu, kFullMask, toks, true);
+                // Non-offloadable epilogue: keep/compare the candidate.
+                tb_.alu(s.epilogueAlu, kFullMask);
+            }
+            return;
+        }
+        const std::uint64_t *addrs = pool(op);
+        std::uint32_t toks = consumeMask(op);
+        for (unsigned c = 0; c < s.chunkCount; ++c) {
+            std::uint64_t ca[kWarpSize];
+            for (unsigned l = 0; l < kWarpSize; ++l)
+                ca[l] = addrs[l] + c * std::uint64_t(s.chunkStep);
+            toks |= TraceBuilder::tokenMask(
+                tb_.loadGather(ca, s.chunkBytes, op.activeMask, true));
+        }
+        tb_.alu(s.reduceAlu, op.activeMask, toks, true);
+    }
+
+    /** B+tree separator scan: whole warp strides one node. */
+    void
+    lowerKeyScan(const SemOp &op, bool offload)
+    {
+        const std::uint64_t sep = op.addr.base;
+        const unsigned nkeys = op.nKeys;
+        if (offload) {
+            // ceil(nkeys/width) chunks, one per lane, one CISC
+            // instruction; the bit-vector popcount/combine runs on the
+            // SM.
+            const unsigned chunks =
+                (nkeys + low_.dp.keyCompareWidth - 1) /
+                low_.dp.keyCompareWidth;
+            std::uint64_t addrs[kWarpSize] = {};
+            for (unsigned c = 0; c < chunks && c < kWarpSize; ++c)
+                addrs[c] = sep + c * low_.dp.keyCompareWidth * 4ull;
+            const std::uint8_t tok = tb_.hsuOp(
+                HsuOpcode::KeyCompare, HsuMode::KeyCompare, addrs,
+                low_.dp.keyCompareWidth * 4, 1,
+                (1u << std::min(chunks, kWarpSize)) - 1u,
+                consumeMask(op));
+            tb_.alu(2 + chunks, kFullMask, TraceBuilder::tokenMask(tok));
+            return;
+        }
+        // Parallel scan: each 32-separator chunk is one coalesced load
+        // + one compare.
+        const unsigned chunks = (nkeys + kWarpSize - 1) / kWarpSize;
+        std::uint32_t toks = consumeMask(op);
+        for (unsigned c = 0; c < chunks; ++c) {
+            const unsigned live =
+                std::min(kWarpSize, nkeys - c * kWarpSize);
+            toks |= TraceBuilder::tokenMask(tb_.loadPattern(
+                sep + c * kWarpSize * 4ull, 4, 4,
+                live == kWarpSize ? kFullMask : ((1u << live) - 1u),
+                true));
+            tb_.alu(2, kFullMask, 0, true);
+        }
+        // Ballot + reduce to the child slot (stays on the SM in both
+        // variants).
+        tb_.alu(6, kFullMask, toks);
+    }
+
+    /** RTIndeX native leaf probe: one KEY_COMPARE, always on-unit. */
+    void
+    lowerKeyProbe(const SemOp &op)
+    {
+        const std::uint8_t tok = tb_.hsuOp(
+            HsuOpcode::KeyCompare, HsuMode::KeyCompare, pool(op),
+            op.bytesPerLane, 1, op.activeMask, consumeMask(op));
+        bind(op, TraceBuilder::tokenMask(tok));
+    }
+
+    void
+    lowerBoxTest(const SemOp &op, bool offload)
+    {
+        if (offload) {
+            const std::uint8_t tok = tb_.hsuOp(
+                HsuOpcode::RayIntersect, HsuMode::RayBox, pool(op),
+                op.box.nodeBytes, 1, op.activeMask, consumeMask(op));
+            bind(op, TraceBuilder::tokenMask(tok));
+            return;
+        }
+        // The node is blChunks LDG.128 vector loads (the sequential
+        // traffic the CISC fetch coalesces away, Section VI-J), then
+        // the slab tests + hit ordering.
+        const std::uint64_t *addrs = pool(op);
+        std::uint32_t toks = consumeMask(op);
+        for (unsigned c = 0; c < op.box.blChunks; ++c) {
+            std::uint64_t chunk[kWarpSize];
+            for (unsigned l = 0; l < kWarpSize; ++l)
+                chunk[l] = addrs[l] + c * 16ull;
+            toks |= TraceBuilder::tokenMask(
+                tb_.loadGather(chunk, 16, op.activeMask, true));
+        }
+        tb_.alu(op.box.blAlu, op.activeMask, toks, true);
+        bind(op, 0u);
+    }
+
+    const SemWarpTrace &sem_;
+    WarpTrace &out_;
+    const Lowering &low_;
+    TraceBuilder tb_;
+    std::vector<std::uint32_t> virtMask_;
+    double fraction_;
+    unsigned offloadSite_ = 0; //!< ModuloN site counter (per warp)
+};
+
+} // namespace
+
+KernelTrace
+lowerTrace(const SemKernelTrace &sem, const Lowering &low)
+{
+    KernelTrace out;
+    out.warps.resize(sem.warps.size());
+    for (std::size_t w = 0; w < sem.warps.size(); ++w)
+        WarpLowerer(sem.warps[w], out.warps[w], low).run();
+    return out;
+}
+
+} // namespace hsu

@@ -58,10 +58,30 @@ struct AddrGen
     }
 };
 
+/**
+ * Which semantic IR op a lowered trace op came from (provenance for
+ * trace_stats attribution). Generic covers pass-through ops that were
+ * never semantic (queue upkeep, prologues, result stores).
+ */
+enum class TraceOrigin : std::uint8_t
+{
+    Generic,
+    Distance,   //!< DistanceBatch
+    KeyCompare, //!< KeyCompareBatch
+    BoxTest,    //!< BoxTestBatch
+    TriTest,    //!< TriTest
+};
+
+/** Number of TraceOrigin values (array sizing). */
+constexpr unsigned kNumTraceOrigins = 5;
+
 /** One warp-level trace operation. */
 struct TraceOp
 {
     OpType type = OpType::Alu;
+    /** Semantic op this was lowered from (stats only — the timing
+     *  model and the trace fingerprint ignore it). */
+    TraceOrigin origin = TraceOrigin::Generic;
     /** Lanes participating in this op. */
     std::uint32_t activeMask = kFullMask;
     /** Alu/Shared: instruction count. HsuOp: beat count. */

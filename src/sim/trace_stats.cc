@@ -19,28 +19,40 @@ analyzeTrace(const KernelTrace &trace)
         s.ops += warp.ops.size();
         for (const auto &op : warp.ops) {
             const unsigned lanes = std::popcount(op.activeMask);
+            OriginStats &os =
+                s.byOrigin[static_cast<unsigned>(op.origin)];
+            os.ops += 1;
             switch (op.type) {
               case OpType::Alu:
                 s.aluInstructions += op.count;
                 s.instructions += op.count;
                 if (op.offloadable)
                     s.offloadableInstructions += op.count;
+                os.aluInstructions += op.count;
+                os.instructions += op.count;
                 break;
               case OpType::Shared:
                 s.sharedInstructions += op.count;
                 s.instructions += op.count;
+                os.sharedInstructions += op.count;
+                os.instructions += op.count;
                 break;
               case OpType::Load:
               case OpType::Store: {
                 const bool load = op.type == OpType::Load;
                 (load ? s.loadInstructions : s.storeInstructions) += 1;
+                (load ? os.loadInstructions : os.storeInstructions) +=
+                    1;
                 s.instructions += 1;
+                os.instructions += 1;
                 if (op.offloadable)
                     s.offloadableInstructions += 1;
                 ++mem_ops;
                 lane_sum += lanes;
-                s.globalBytes +=
+                const auto bytes =
                     static_cast<std::size_t>(lanes) * op.bytesPerLane;
+                s.globalBytes += bytes;
+                os.globalBytes += bytes;
                 break;
               }
               case OpType::HsuOp: {
@@ -48,10 +60,14 @@ analyzeTrace(const KernelTrace &trace)
                 s.instructions += op.count;
                 s.hsuByMode[static_cast<unsigned>(op.hsuMode)] +=
                     op.count;
+                os.hsuInstructions += op.count;
+                os.instructions += op.count;
                 ++mem_ops;
                 lane_sum += lanes;
-                s.globalBytes += static_cast<std::size_t>(lanes) *
-                                 op.bytesPerLane * op.count;
+                const auto bytes = static_cast<std::size_t>(lanes) *
+                                   op.bytesPerLane * op.count;
+                s.globalBytes += bytes;
+                os.globalBytes += bytes;
                 break;
               }
             }
@@ -62,6 +78,42 @@ analyzeTrace(const KernelTrace &trace)
                       static_cast<double>(mem_ops)
                 : 0.0;
     return s;
+}
+
+std::uint64_t
+traceFingerprint(const KernelTrace &trace)
+{
+    std::uint64_t h = 1469598103934665603ull; // FNV offset basis
+    const auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xffu;
+            h *= 1099511628211ull; // FNV prime
+        }
+    };
+    mix(trace.warps.size());
+    for (const auto &w : trace.warps) {
+        mix(w.ops.size());
+        for (const auto &op : w.ops) {
+            mix(static_cast<std::uint64_t>(op.type));
+            mix(op.activeMask);
+            mix(op.count);
+            mix(op.bytesPerLane);
+            mix(op.produces);
+            mix(op.consumesMask);
+            mix(op.offloadable ? 1 : 0);
+            mix(static_cast<std::uint64_t>(op.hsuOp));
+            mix(static_cast<std::uint64_t>(op.hsuMode));
+            mix(op.addr.base);
+            mix(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(op.addr.stride)));
+            mix(static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(op.addr.poolIndex)));
+        }
+        mix(w.addrPool.size());
+        for (const std::uint64_t a : w.addrPool)
+            mix(a);
+    }
+    return h;
 }
 
 void
@@ -87,6 +139,19 @@ printTraceStats(std::ostream &os, const TraceStats &s,
     }
     t.addRow({"offloadable fraction",
               Table::pct(s.offloadableFraction())});
+    static const char *origin_names[kNumTraceOrigins] = {
+        "generic", "distance", "key-compare", "box-test", "tri-test"};
+    for (unsigned o = 0; o < kNumTraceOrigins; ++o) {
+        const OriginStats &og = s.byOrigin[o];
+        if (!og.instructions)
+            continue;
+        t.addRow({std::string("origin ") + origin_names[o],
+                  std::to_string(og.instructions) + " instr, " +
+                      Table::pct(og.offloadedFraction()) +
+                      " offloaded"});
+    }
+    t.addRow({"semantic offload fraction",
+              Table::pct(s.semanticOffloadFraction())});
     t.addRow({"avg active lanes (mem/hsu)",
               Table::num(s.avgActiveLanes, 2)});
     t.addRow({"global bytes touched", std::to_string(s.globalBytes)});

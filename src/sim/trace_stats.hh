@@ -16,6 +16,31 @@
 namespace hsu
 {
 
+/** Instruction mix attributed to one TraceOrigin (the semantic op a
+ *  lowered instruction came from; Generic = pass-through). */
+struct OriginStats
+{
+    std::size_t ops = 0;
+    std::size_t instructions = 0;
+    std::size_t aluInstructions = 0;
+    std::size_t sharedInstructions = 0;
+    std::size_t loadInstructions = 0;
+    std::size_t storeInstructions = 0;
+    std::size_t hsuInstructions = 0; //!< beats
+    std::size_t globalBytes = 0;
+
+    /** Share of this origin's instructions executed as HSU beats —
+     *  the realized (post-lowering) offload fraction, per origin. */
+    double
+    offloadedFraction() const
+    {
+        return instructions
+            ? static_cast<double>(hsuInstructions) /
+                  static_cast<double>(instructions)
+            : 0.0;
+    }
+};
+
 /** Aggregated statistics over a kernel trace. */
 struct TraceStats
 {
@@ -32,6 +57,8 @@ struct TraceStats
     std::size_t offloadableInstructions = 0;
     double avgActiveLanes = 0.0;     //!< over memory + HSU ops
     std::size_t globalBytes = 0;     //!< load/store/HSU operand bytes
+    /** Per-semantic-origin instruction mix (indexed by TraceOrigin). */
+    std::array<OriginStats, kNumTraceOrigins> byOrigin{};
 
     /** Fraction of dynamic instructions the HSU could subsume. */
     double
@@ -42,10 +69,36 @@ struct TraceStats
                   static_cast<double>(instructions)
             : 0.0;
     }
+
+    /** Realized offload fraction over semantic (non-Generic) origins:
+     *  HSU beats / instructions attributed to semantic ops. 0 for a
+     *  baseline lowering, 1 when every semantic instruction became a
+     *  CISC beat. */
+    double
+    semanticOffloadFraction() const
+    {
+        std::size_t instr = 0, beats = 0;
+        for (unsigned o = 1; o < kNumTraceOrigins; ++o) {
+            instr += byOrigin[o].instructions;
+            beats += byOrigin[o].hsuInstructions;
+        }
+        return instr ? static_cast<double>(beats) /
+                           static_cast<double>(instr)
+                     : 0.0;
+    }
 };
 
 /** Compute statistics for a whole kernel trace. */
 TraceStats analyzeTrace(const KernelTrace &trace);
+
+/**
+ * Order-sensitive FNV-1a fingerprint of a trace's full contents (every
+ * op field plus the address pools). Two traces are bit-identical in
+ * the fields the timing model reads iff their fingerprints match; the
+ * golden-trace regression tests pin lowered traces to pre-refactor
+ * emissions through this value.
+ */
+std::uint64_t traceFingerprint(const KernelTrace &trace);
 
 /** Pretty-print a TraceStats block. */
 void printTraceStats(std::ostream &os, const TraceStats &stats,

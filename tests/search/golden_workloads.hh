@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fixed-seed miniature workloads pinned by the golden-trace regression
+ * test. The trace fingerprints recorded in test_golden_trace.cc were
+ * captured from the pre-IR emission paths (kernels emitting baseline /
+ * HSU instruction sequences inline); the semantic-IR + lowering path
+ * must reproduce them bit-identically, so these builders must never
+ * change. Add new workloads instead of editing existing ones.
+ */
+
+#ifndef HSU_TESTS_SEARCH_GOLDEN_WORKLOADS_HH
+#define HSU_TESTS_SEARCH_GOLDEN_WORKLOADS_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "../test_util.hh"
+#include "common/rng.hh"
+#include "search/btree_kernel.hh"
+#include "search/bvhnn.hh"
+#include "search/flann.hh"
+#include "search/ggnn.hh"
+#include "search/rtindex.hh"
+#include "structures/btree.hh"
+#include "structures/graph.hh"
+#include "structures/kdtree.hh"
+#include "structures/lbvh.hh"
+
+namespace hsu::golden
+{
+
+struct GgnnWorkload
+{
+    PointSet points;
+    PointSet queries;
+};
+
+/** GGNN, Euclidean metric: 600 x 24-d points, 16 queries. */
+inline GgnnWorkload
+ggnnEuclid()
+{
+    return {test::randomCloud(600, 24, 29), test::randomCloud(16, 24, 30)};
+}
+
+/** GGNN, angular metric: 400 x 16-d points, 8 queries. */
+inline GgnnWorkload
+ggnnAngular()
+{
+    return {test::randomCloud(400, 16, 31), test::randomCloud(8, 16, 32)};
+}
+
+struct PointWorkload
+{
+    PointSet points;
+    PointSet queries;
+    float radius = 0.6f;
+};
+
+/** FLANN / BVH-NN: 500 3-d points, 64 queries. */
+inline PointWorkload
+pointCloud()
+{
+    return {test::randomCloud(500, 3, 27), test::randomCloud(64, 3, 28),
+            0.6f};
+}
+
+struct KeyWorkload
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    std::vector<std::uint32_t> probes;
+};
+
+/** B+tree: 8000 key/value pairs, 200 probes. */
+inline KeyWorkload
+btreeKeys()
+{
+    KeyWorkload w;
+    Rng rng(33);
+    for (std::uint32_t i = 0; i < 8000; ++i) {
+        w.pairs.emplace_back(
+            static_cast<std::uint32_t>(rng.nextBounded(1u << 24)), i);
+    }
+    for (int i = 0; i < 200; ++i) {
+        w.probes.push_back(
+            static_cast<std::uint32_t>(rng.nextBounded(1u << 24)));
+    }
+    return w;
+}
+
+struct RtindexWorkload
+{
+    std::vector<std::uint32_t> keys;
+    std::vector<std::uint32_t> probes;
+};
+
+/** RTIndeX: 2000 gapped keys, 200 probes. */
+inline RtindexWorkload
+rtindexKeys()
+{
+    RtindexWorkload w;
+    Rng rng(34);
+    std::uint32_t cur = 100;
+    for (int i = 0; i < 2000; ++i)
+        w.keys.push_back(cur += 1 + rng.nextBounded(5));
+    for (int i = 0; i < 200; ++i) {
+        w.probes.push_back(
+            static_cast<std::uint32_t>(rng.nextBounded(cur + 50)));
+    }
+    return w;
+}
+
+} // namespace hsu::golden
+
+#endif // HSU_TESTS_SEARCH_GOLDEN_WORKLOADS_HH

@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Lowering contract: every semantic IR op must expand to the documented
+ * instruction sequence (the catalog in sim/lower.hh) under each of the
+ * three lowerings, with virtual tokens resolving to the right concrete
+ * scoreboard masks. Synthetic one-warp traces keep the expected op
+ * lists small enough to assert exhaustively.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/ir.hh"
+#include "sim/lower.hh"
+#include "sim/trace_stats.hh"
+
+namespace hsu
+{
+namespace
+{
+
+/** Build a one-warp semantic trace with @p fill and lower it. */
+template <typename Fill>
+KernelTrace
+lowerOne(Fill fill, const Lowering &low)
+{
+    SemKernelTrace sem;
+    sem.warps.emplace_back();
+    SemBuilder sb(sem.warps.back());
+    fill(sb);
+    return lowerTrace(sem, low);
+}
+
+std::uint64_t
+laneAddrs(std::uint64_t base, std::uint64_t stride, std::uint64_t *out)
+{
+    for (unsigned l = 0; l < kWarpSize; ++l)
+        out[l] = base + l * stride;
+    return base;
+}
+
+TEST(Lower, PassThroughOpsAreVerbatim)
+{
+    const auto fill = [](SemBuilder &sb) {
+        const VirtToken t = sb.loadPattern(0x1000, 4, 4, kFullMask);
+        sb.alu(5, kFullMask, {t});
+        sb.shared(3, 0xffffu);
+        sb.storePattern(0x2000, 8, 8, 0xffu);
+    };
+    for (const Lowering &low :
+         {Lowering::baseline(), Lowering::hsu(), Lowering::partial(0.5)}) {
+        const KernelTrace t = lowerOne(fill, low);
+        ASSERT_EQ(t.warps.size(), 1u);
+        const auto &ops = t.warps[0].ops;
+        ASSERT_EQ(ops.size(), 4u);
+        EXPECT_EQ(ops[0].type, OpType::Load);
+        EXPECT_EQ(ops[0].addr.base, 0x1000u);
+        EXPECT_EQ(ops[0].addr.stride, 4);
+        // The load's virtual token resolves to its concrete token mask.
+        EXPECT_EQ(ops[1].type, OpType::Alu);
+        EXPECT_EQ(ops[1].count, 5u);
+        EXPECT_EQ(ops[1].consumesMask,
+                  TraceBuilder::tokenMask(ops[0].produces));
+        EXPECT_EQ(ops[2].type, OpType::Shared);
+        EXPECT_EQ(ops[2].activeMask, 0xffffu);
+        EXPECT_EQ(ops[3].type, OpType::Store);
+        EXPECT_EQ(ops[3].activeMask, 0xffu);
+        for (const auto &op : ops)
+            EXPECT_EQ(op.origin, TraceOrigin::Generic);
+    }
+}
+
+TEST(Lower, DistanceWarpCoopBaseline)
+{
+    // dim=24 euclid: 1 chunk (96B < 128B), so per candidate:
+    // load + alu(7) + alu(10) + alu(2)  (epilogue not offloadable).
+    std::uint64_t addrs[kWarpSize];
+    laneAddrs(0x4000, 0x100, addrs);
+    const auto fill = [&](SemBuilder &sb) {
+        const VirtToken n = sb.loadPattern(0x100, 4, 4);
+        sb.distanceWarpCoop(Metric::Euclidean, 24, addrs, 3,
+                            ggnnDistanceShape(Metric::Euclidean, 24), {n});
+    };
+    const KernelTrace t = lowerOne(fill, Lowering::baseline());
+    const auto &ops = t.warps[0].ops;
+    ASSERT_EQ(ops.size(), 1u + 3 * 4);
+    const std::uint32_t ntok = TraceBuilder::tokenMask(ops[0].produces);
+    for (unsigned i = 0; i < 3; ++i) {
+        const TraceOp &ld = ops[1 + i * 4];
+        EXPECT_EQ(ld.type, OpType::Load);
+        EXPECT_EQ(ld.addr.base, addrs[i]);
+        EXPECT_TRUE(ld.offloadable);
+        EXPECT_EQ(ops[2 + i * 4].count, 7u);  // per-chunk FMA block
+        const TraceOp &red = ops[3 + i * 4];
+        EXPECT_EQ(red.count, 10u);            // shuffle reduction
+        // The reduction waits on the chunk load AND the consumed token.
+        EXPECT_EQ(red.consumesMask,
+                  ntok | TraceBuilder::tokenMask(ld.produces));
+        EXPECT_TRUE(red.offloadable);
+        const TraceOp &epi = ops[4 + i * 4];
+        EXPECT_EQ(epi.count, 2u);             // keep/compare epilogue
+        EXPECT_FALSE(epi.offloadable);
+        for (unsigned k = 1; k <= 4; ++k)
+            EXPECT_EQ(ops[i * 4 + k].origin, TraceOrigin::Distance);
+    }
+}
+
+TEST(Lower, DistanceWarpCoopHsu)
+{
+    std::uint64_t addrs[kWarpSize];
+    laneAddrs(0x4000, 0x100, addrs);
+    const auto fill = [&](SemBuilder &sb) {
+        const VirtToken n = sb.loadPattern(0x100, 4, 4);
+        sb.distanceWarpCoop(Metric::Euclidean, 24, addrs, 3,
+                            ggnnDistanceShape(Metric::Euclidean, 24), {n});
+    };
+    const KernelTrace t = lowerOne(fill, Lowering::hsu());
+    const auto &ops = t.warps[0].ops;
+    ASSERT_EQ(ops.size(), 3u); // load + CISC + trailing alu
+    const TraceOp &cisc = ops[1];
+    EXPECT_EQ(cisc.type, OpType::HsuOp);
+    EXPECT_EQ(cisc.hsuOp, HsuOpcode::PointEuclid);
+    EXPECT_EQ(cisc.hsuMode, HsuMode::Euclid);
+    EXPECT_EQ(cisc.count, 2u);        // ceil(24 / 16) beats
+    EXPECT_EQ(cisc.bytesPerLane, 64u); // 16 floats per beat
+    EXPECT_EQ(cisc.activeMask, SemBuilder::lowLanes(3));
+    EXPECT_EQ(cisc.consumesMask,
+              TraceBuilder::tokenMask(ops[0].produces));
+    EXPECT_EQ(ops[2].type, OpType::Alu);
+    EXPECT_EQ(ops[2].count, 1u); // euclid trailing scalar block
+    EXPECT_EQ(ops[2].consumesMask,
+              TraceBuilder::tokenMask(cisc.produces));
+    EXPECT_EQ(cisc.origin, TraceOrigin::Distance);
+    EXPECT_EQ(ops[2].origin, TraceOrigin::Distance);
+}
+
+TEST(Lower, DistanceWarpCoopAngularHsu)
+{
+    std::uint64_t addrs[kWarpSize];
+    laneAddrs(0x4000, 0x100, addrs);
+    const auto fill = [&](SemBuilder &sb) {
+        sb.distanceWarpCoop(Metric::Angular, 16, addrs, 8,
+                            ggnnDistanceShape(Metric::Angular, 16));
+    };
+    const KernelTrace t = lowerOne(fill, Lowering::hsu());
+    const auto &ops = t.warps[0].ops;
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(ops[0].hsuOp, HsuOpcode::PointAngular);
+    EXPECT_EQ(ops[0].hsuMode, HsuMode::Angular);
+    EXPECT_EQ(ops[0].count, 2u);        // ceil(16 / 8) beats
+    EXPECT_EQ(ops[0].bytesPerLane, 32u); // 8 floats per beat
+    EXPECT_EQ(ops[1].count, 4u);         // angular rsqrt/divide block
+}
+
+TEST(Lower, DistanceLanesTokenResolution)
+{
+    std::uint64_t addrs[kWarpSize];
+    laneAddrs(0x8000, 0x40, addrs);
+    const auto fill = [&](SemBuilder &sb) {
+        const VirtToken d =
+            sb.distanceLanes(3, addrs, 0xffffu, flannDistanceShape(3));
+        sb.alu(4, 0xffffu, {d});
+    };
+    // Baseline: 2 x 8B gathers (float3 = LDG.64 + LDG.32) + alu(23);
+    // the result token resolves to the EMPTY mask (the FMA block
+    // consumed its loads internally).
+    {
+        const KernelTrace t = lowerOne(fill, Lowering::baseline());
+        const auto &ops = t.warps[0].ops;
+        ASSERT_EQ(ops.size(), 4u);
+        EXPECT_EQ(ops[0].type, OpType::Load);
+        EXPECT_EQ(ops[1].type, OpType::Load);
+        // Chunk c gathers at addrs[l] + c*8 for every lane.
+        EXPECT_EQ(t.warps[0].laneAddr(ops[0], 5), addrs[5]);
+        EXPECT_EQ(t.warps[0].laneAddr(ops[1], 5), addrs[5] + 8);
+        EXPECT_EQ(ops[2].count, 23u); // 3*dim + 14
+        EXPECT_EQ(ops[2].consumesMask,
+                  TraceBuilder::tokenMask(ops[0].produces) |
+                      TraceBuilder::tokenMask(ops[1].produces));
+        EXPECT_EQ(ops[3].consumesMask, 0u);
+        EXPECT_EQ(ops[3].origin, TraceOrigin::Generic);
+    }
+    // HSU: one POINT_EUCLID; the token escapes to the consumer.
+    {
+        const KernelTrace t = lowerOne(fill, Lowering::hsu());
+        const auto &ops = t.warps[0].ops;
+        ASSERT_EQ(ops.size(), 2u);
+        EXPECT_EQ(ops[0].type, OpType::HsuOp);
+        EXPECT_EQ(ops[0].hsuOp, HsuOpcode::PointEuclid);
+        EXPECT_EQ(ops[0].count, 1u);        // ceil(3 / 16)
+        EXPECT_EQ(ops[0].bytesPerLane, 12u); // min(width, dim) floats
+        EXPECT_EQ(ops[1].consumesMask,
+                  TraceBuilder::tokenMask(ops[0].produces));
+    }
+}
+
+TEST(Lower, KeyCompareScanBaseline)
+{
+    const auto fill = [](SemBuilder &sb) {
+        sb.keyCompareScan(0x9000, 100);
+    };
+    // ceil(100/32) = 4 chunks; the last covers 4 separators.
+    const KernelTrace t = lowerOne(fill, Lowering::baseline());
+    const auto &ops = t.warps[0].ops;
+    ASSERT_EQ(ops.size(), 4u * 2 + 1);
+    std::uint32_t toks = 0;
+    for (unsigned c = 0; c < 4; ++c) {
+        const TraceOp &ld = ops[c * 2];
+        EXPECT_EQ(ld.type, OpType::Load);
+        EXPECT_EQ(ld.addr.base, 0x9000u + c * 128);
+        EXPECT_EQ(ld.activeMask,
+                  c == 3 ? (1u << 4) - 1u : kFullMask);
+        toks |= TraceBuilder::tokenMask(ld.produces);
+        EXPECT_EQ(ops[c * 2 + 1].count, 2u); // compare block
+    }
+    EXPECT_EQ(ops[8].count, 6u); // ballot + reduce
+    EXPECT_EQ(ops[8].consumesMask, toks);
+    for (const auto &op : ops)
+        EXPECT_EQ(op.origin, TraceOrigin::KeyCompare);
+}
+
+TEST(Lower, KeyCompareScanHsu)
+{
+    const auto fill = [](SemBuilder &sb) {
+        sb.keyCompareScan(0x9000, 100);
+    };
+    // ceil(100/36) = 3 lane-chunks in one KEY_COMPARE.
+    const KernelTrace t = lowerOne(fill, Lowering::hsu());
+    const auto &ops = t.warps[0].ops;
+    ASSERT_EQ(ops.size(), 2u);
+    const TraceOp &cisc = ops[0];
+    EXPECT_EQ(cisc.hsuOp, HsuOpcode::KeyCompare);
+    EXPECT_EQ(cisc.hsuMode, HsuMode::KeyCompare);
+    EXPECT_EQ(cisc.bytesPerLane, 144u); // 36 keys per lane-chunk
+    EXPECT_EQ(cisc.activeMask, (1u << 3) - 1u);
+    EXPECT_EQ(t.warps[0].laneAddr(cisc, 0), 0x9000u);
+    EXPECT_EQ(t.warps[0].laneAddr(cisc, 1), 0x9000u + 144);
+    EXPECT_EQ(t.warps[0].laneAddr(cisc, 2), 0x9000u + 288);
+    EXPECT_EQ(ops[1].count, 2u + 3u); // popcount/combine per chunk
+    EXPECT_EQ(ops[1].consumesMask,
+              TraceBuilder::tokenMask(cisc.produces));
+}
+
+TEST(Lower, BoxTestBaselineAndHsu)
+{
+    std::uint64_t addrs[kWarpSize];
+    laneAddrs(0xa000, 0x40, addrs);
+    const auto fill = [&](SemBuilder &sb) {
+        const VirtToken b = sb.boxTest(addrs, 0xffu, bvhBoxShape());
+        sb.alu(5, 0xffu, {b});
+    };
+    {
+        // 64B node = 4 x 16B gathers + alu(30); token resolves empty.
+        const KernelTrace t = lowerOne(fill, Lowering::baseline());
+        const auto &ops = t.warps[0].ops;
+        ASSERT_EQ(ops.size(), 6u);
+        std::uint32_t toks = 0;
+        for (unsigned c = 0; c < 4; ++c) {
+            EXPECT_EQ(ops[c].type, OpType::Load);
+            EXPECT_EQ(ops[c].bytesPerLane, 16u);
+            EXPECT_EQ(t.warps[0].laneAddr(ops[c], 3),
+                      addrs[3] + c * 16);
+            toks |= TraceBuilder::tokenMask(ops[c].produces);
+        }
+        EXPECT_EQ(ops[4].count, 30u);
+        EXPECT_EQ(ops[4].consumesMask, toks);
+        EXPECT_EQ(ops[5].consumesMask, 0u);
+        EXPECT_EQ(ops[4].origin, TraceOrigin::BoxTest);
+    }
+    {
+        const KernelTrace t = lowerOne(fill, Lowering::hsu());
+        const auto &ops = t.warps[0].ops;
+        ASSERT_EQ(ops.size(), 2u);
+        EXPECT_EQ(ops[0].type, OpType::HsuOp);
+        EXPECT_EQ(ops[0].hsuOp, HsuOpcode::RayIntersect);
+        EXPECT_EQ(ops[0].hsuMode, HsuMode::RayBox);
+        EXPECT_EQ(ops[0].bytesPerLane, 64u);
+        EXPECT_EQ(ops[1].consumesMask,
+                  TraceBuilder::tokenMask(ops[0].produces));
+    }
+}
+
+TEST(Lower, UnitResidentOpsIgnoreTheLowering)
+{
+    std::uint64_t addrs[kWarpSize];
+    laneAddrs(0xb000, 0x40, addrs);
+    const auto fill = [&](SemBuilder &sb) {
+        sb.boxTest(addrs, kFullMask, rtindexBoxShape());
+        sb.triTest(addrs, 48, 0xffffu);
+        sb.keyCompareProbe(addrs, 128, 0xffu);
+    };
+    // RTIndeX-style ops are on the RT unit in EVERY configuration.
+    for (const Lowering &low : {Lowering::baseline(), Lowering::hsu(),
+                                Lowering::partial(0.0)}) {
+        const KernelTrace t = lowerOne(fill, low);
+        const auto &ops = t.warps[0].ops;
+        ASSERT_EQ(ops.size(), 3u);
+        EXPECT_EQ(ops[0].hsuMode, HsuMode::RayBox);
+        EXPECT_EQ(ops[0].origin, TraceOrigin::BoxTest);
+        EXPECT_EQ(ops[1].hsuMode, HsuMode::RayTri);
+        EXPECT_EQ(ops[1].bytesPerLane, 48u);
+        EXPECT_EQ(ops[1].origin, TraceOrigin::TriTest);
+        EXPECT_EQ(ops[2].hsuOp, HsuOpcode::KeyCompare);
+        EXPECT_EQ(ops[2].origin, TraceOrigin::KeyCompare);
+        for (const auto &op : ops)
+            EXPECT_EQ(op.type, OpType::HsuOp);
+    }
+}
+
+/** Four lane-parallel distance batches (each one offload site). */
+void
+fourDistances(SemBuilder &sb)
+{
+    std::uint64_t addrs[kWarpSize];
+    laneAddrs(0xc000, 0x40, addrs);
+    for (int i = 0; i < 4; ++i)
+        sb.distanceLanes(3, addrs, kFullMask, flannDistanceShape(3));
+}
+
+TEST(Lower, PartialModuloNEndpointsMatchBaselineAndHsu)
+{
+    EXPECT_EQ(traceFingerprint(lowerOne(fourDistances,
+                                        Lowering::partial(0.0))),
+              traceFingerprint(lowerOne(fourDistances,
+                                        Lowering::baseline())));
+    EXPECT_EQ(traceFingerprint(lowerOne(fourDistances,
+                                        Lowering::partial(1.0))),
+              traceFingerprint(lowerOne(fourDistances,
+                                        Lowering::hsu())));
+}
+
+TEST(Lower, PartialModuloNSpreadsEvenly)
+{
+    // f = 0.5 over sites 0..3: floor((i+1)/2) > floor(i/2) at i = 1, 3.
+    const KernelTrace t =
+        lowerOne(fourDistances, Lowering::partial(0.5));
+    const auto &ops = t.warps[0].ops;
+    // Offloaded batch = 1 op; baseline batch = 2 gathers + 1 alu.
+    ASSERT_EQ(ops.size(), 2u * 3 + 2u * 1);
+    EXPECT_EQ(ops[0].type, OpType::Load);  // site 0: baseline
+    EXPECT_EQ(ops[3].type, OpType::HsuOp); // site 1: offloaded
+    EXPECT_EQ(ops[4].type, OpType::Load);  // site 2: baseline
+    EXPECT_EQ(ops[7].type, OpType::HsuOp); // site 3: offloaded
+}
+
+TEST(Lower, PartialByKindSelectsKinds)
+{
+    std::uint64_t addrs[kWarpSize];
+    laneAddrs(0xd000, 0x40, addrs);
+    const auto fill = [&](SemBuilder &sb) {
+        sb.distanceLanes(3, addrs, kFullMask, flannDistanceShape(3));
+        sb.keyCompareScan(0x9000, 64);
+    };
+    const KernelTrace t = lowerOne(
+        fill, Lowering::partialByKind(Lowering::kindBit(SemKind::Distance)));
+    const auto &ops = t.warps[0].ops;
+    // Distance offloaded (1 op), key scan on the baseline path
+    // (2 chunks x (load + alu) + reduce).
+    ASSERT_EQ(ops.size(), 1u + 5u);
+    EXPECT_EQ(ops[0].type, OpType::HsuOp);
+    EXPECT_EQ(ops[0].hsuMode, HsuMode::Euclid);
+    EXPECT_EQ(ops[1].type, OpType::Load);
+    EXPECT_EQ(ops[1].origin, TraceOrigin::KeyCompare);
+}
+
+TEST(Lower, OriginStatsTrackRealizedOffload)
+{
+    const auto fill = [](SemBuilder &sb) {
+        std::uint64_t addrs[kWarpSize];
+        laneAddrs(0xe000, 0x40, addrs);
+        sb.alu(10); // generic prologue
+        sb.distanceLanes(3, addrs, kFullMask, flannDistanceShape(3));
+    };
+    {
+        const TraceStats s =
+            analyzeTrace(lowerOne(fill, Lowering::baseline()));
+        const auto &dist =
+            s.byOrigin[static_cast<unsigned>(TraceOrigin::Distance)];
+        EXPECT_EQ(dist.hsuInstructions, 0u);
+        EXPECT_EQ(dist.loadInstructions, 2u);
+        EXPECT_EQ(dist.aluInstructions, 23u);
+        EXPECT_DOUBLE_EQ(dist.offloadedFraction(), 0.0);
+        EXPECT_DOUBLE_EQ(s.semanticOffloadFraction(), 0.0);
+    }
+    {
+        const TraceStats s = analyzeTrace(lowerOne(fill, Lowering::hsu()));
+        const auto &dist =
+            s.byOrigin[static_cast<unsigned>(TraceOrigin::Distance)];
+        EXPECT_EQ(dist.instructions, dist.hsuInstructions);
+        EXPECT_DOUBLE_EQ(dist.offloadedFraction(), 1.0);
+        EXPECT_DOUBLE_EQ(s.semanticOffloadFraction(), 1.0);
+        // The generic prologue never counts toward semantic offload.
+        const auto &gen =
+            s.byOrigin[static_cast<unsigned>(TraceOrigin::Generic)];
+        EXPECT_EQ(gen.aluInstructions, 10u);
+    }
+}
+
+} // namespace
+} // namespace hsu
