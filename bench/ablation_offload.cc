@@ -41,23 +41,26 @@ main()
         const RunnerOptions opts = bench::benchOptions(info);
         const std::string label = workloadLabel(algo, info);
 
-        // One emission, one lowering per sweep point.
-        const SemKernelTrace sem = emitSemantic(algo, id, opts);
+        // One shared emission, one lowering per sweep point. The
+        // lowered traces are created inside the workers (Kind::SemLower)
+        // so the five sweep points hold one semantic trace between
+        // them, not five pre-lowered copies.
+        const std::shared_ptr<const SemKernelTrace> sem =
+            emitSemanticShared(algo, id, opts);
         std::vector<SimJob> jobs;
-        std::vector<double> realized;
         for (const double f : kFractions) {
-            auto trace = std::make_shared<KernelTrace>(
-                lowerTrace(sem, Lowering::partial(f, gpu.datapath)));
-            realized.push_back(
-                analyzeTrace(*trace).semanticOffloadFraction());
             SimJob job;
-            job.kind = SimJob::Kind::Trace;
+            job.kind = SimJob::Kind::SemLower;
             job.gpu = gpu;
-            job.trace = std::move(trace);
+            job.sem = sem;
+            job.lowering = Lowering::partial(f, gpu.datapath);
             jobs.push_back(std::move(job));
         }
         const std::vector<SimJobResult> res =
             runJobsParallel(std::move(jobs));
+        std::vector<double> realized;
+        for (const SimJobResult &r : res)
+            realized.push_back(r.traceStats.semanticOffloadFraction());
 
         // Endpoint cross-check against the two-point API.
         StatGroup base_stats, hsu_stats;
@@ -87,6 +90,7 @@ main()
         }
     }
     t.print(std::cout);
+    bench::writePipelineReport("ablation_offload");
     if (!endpoints_ok) {
         std::cerr << "FAIL: partial-offload endpoints diverge from the "
                      "baseline/HSU lowerings\n";

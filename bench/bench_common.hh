@@ -10,16 +10,25 @@
 #ifndef HSU_BENCH_BENCH_COMMON_HH
 #define HSU_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "common/logging.hh"
+#include "common/phase_timer.hh"
 #include "common/table.hh"
 #include "search/runner.hh"
 
 namespace hsu::bench
 {
+
+/** Process-start timestamp for total-wall-clock reporting (captured at
+ *  static initialization, before main). */
+inline const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
 
 /** The HSU-enabled GPU configuration every experiment runs under
  *  (Table III, with the SM count scaled as documented in DESIGN.md). */
@@ -82,6 +91,51 @@ geomean(const std::vector<double> &vals)
         ++n;
     }
     return n ? std::exp(log_sum / static_cast<double>(n)) : 0.0;
+}
+
+/**
+ * Write the per-phase pipeline breakdown of this bench run to
+ * BENCH_pipeline.json in the working directory (CI uploads it as an
+ * artifact and gates on the emit phase). Phase seconds are CPU-seconds
+ * summed over worker threads — with HSU_JOBS > 1 they can exceed
+ * total_wall_seconds. Call once, at the end of main.
+ */
+inline void
+writePipelineReport(const std::string &bench_name)
+{
+    const PipelinePhaseReport r = pipelinePhaseReport();
+    const double wall =
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - kProcessStart)
+            .count();
+    std::ofstream out("BENCH_pipeline.json");
+    if (!out) {
+        hsu_warn("cannot write BENCH_pipeline.json");
+        return;
+    }
+    out.precision(6);
+    out << std::fixed;
+    out << "{\n"
+        << "  \"bench\": \"" << bench_name << "\",\n"
+        << "  \"total_wall_seconds\": " << wall << ",\n"
+        << "  \"emit_seconds\": " << r.emitSeconds << ",\n"
+        << "  \"lower_seconds\": " << r.lowerSeconds << ",\n"
+        << "  \"simulate_seconds\": " << r.simulateSeconds << ",\n"
+        << "  \"emit_calls\": " << r.emitCalls << ",\n"
+        << "  \"emit_cache_hits\": " << r.emitCacheHits << ",\n"
+        << "  \"lower_calls\": " << r.lowerCalls << ",\n"
+        << "  \"simulate_calls\": " << r.simulateCalls << ",\n"
+        << "  \"peak_rss_bytes\": " << peakRssBytes() << "\n"
+        << "}\n";
+    // stderr, not stdout: wall-clock varies run to run, and stdout
+    // tables are bit-identical by contract (diffable across knobs).
+    std::cerr << "[pipeline] wall " << Table::num(wall, 2)
+              << "s | emit " << Table::num(r.emitSeconds, 2) << "s ("
+              << r.emitCalls << " emissions, " << r.emitCacheHits
+              << " cache hits) | lower " << Table::num(r.lowerSeconds, 2)
+              << "s | simulate " << Table::num(r.simulateSeconds, 2)
+              << "s | peak RSS "
+              << (peakRssBytes() >> 20) << " MiB\n";
 }
 
 } // namespace hsu::bench

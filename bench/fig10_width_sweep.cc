@@ -55,5 +55,6 @@ main()
         t.addRow(std::move(row));
     }
     t.print(std::cout);
+    bench::writePipelineReport("fig10_width_sweep");
     return 0;
 }

@@ -65,5 +65,6 @@ main()
     sweep(Algo::Ggnn, "Fig 11a: GGNN speedup vs warp buffer size");
     sweep(Algo::Bvhnn, "Fig 11b: BVH-NN speedup vs warp buffer size");
     sweep(Algo::Flann, "Fig 11c: FLANN speedup vs warp buffer size");
+    bench::writePipelineReport("fig11_warp_buffer");
     return 0;
 }

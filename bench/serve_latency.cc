@@ -52,7 +52,7 @@ baselineCapacityQps(Algo algo, DatasetId dataset,
     std::vector<std::uint32_t> ids(cfg.batch.maxBatch);
     for (std::uint32_t i = 0; i < ids.size(); ++i)
         ids[i] = i;
-    const KernelTrace trace =
+    const std::shared_ptr<const KernelTrace> trace =
         emitBatchTrace(algo, dataset, KernelVariant::Baseline,
                        base.datapath, ids, cfg.queryPoolSize);
     StatGroup stats;

@@ -18,6 +18,8 @@
 #include "search/ggnn.hh"
 #include "sim/config.hh"
 #include "sim/gpu.hh"
+#include "sim/lower.hh"
+#include "sim/trace_stats.hh"
 #include "workloads/datasets.hh"
 
 namespace hsu
@@ -40,6 +42,14 @@ struct RunnerOptions
     unsigned ggnnQueries = 128;
     unsigned pointQueries = 4096;
     unsigned keyQueries = 8192;
+
+    bool
+    operator==(const RunnerOptions &o) const
+    {
+        return ggnnQueries == o.ggnnQueries &&
+               pointQueries == o.pointQueries &&
+               keyQueries == o.keyQueries;
+    }
 };
 
 /**
@@ -85,10 +95,28 @@ WorkloadResult runWorkload(Algo algo, DatasetId dataset,
 /**
  * Emit the semantic (pre-lowering) trace of one (algorithm, dataset)
  * experiment — the IR every lowering variant of the workload shares.
- * Benches that sweep lowerings emit once and lower per point.
+ * Always performs the (expensive) functional kernel run; most callers
+ * want emitSemanticShared() instead, which memoizes the result.
  */
 SemKernelTrace emitSemantic(Algo algo, DatasetId dataset,
                             const RunnerOptions &opts);
+
+/**
+ * Memoized emission: the semantic trace of (algo, dataset, opts) as an
+ * immutable shared artifact. The first request (from any thread) runs
+ * the functional kernel once; every later request — the other side of
+ * a base/HSU pair, every sweep point, every HSU_JOBS worker — returns
+ * a pointer to the same trace. Sharing is by weak reference plus a
+ * small MRU strong list, so peak RSS is bounded by the active working
+ * set rather than by every workload the process ever touched (see
+ * DESIGN.md "Trace lifetime and sharing" for the memory model).
+ *
+ * Emission is a pure function of its key, so the cached artifact is
+ * bit-identical to a fresh emitSemantic() call.
+ */
+std::shared_ptr<const SemKernelTrace>
+emitSemanticShared(Algo algo, DatasetId dataset,
+                   const RunnerOptions &opts);
 
 /**
  * Simulate one (algorithm, dataset) experiment under an explicit
@@ -128,6 +156,7 @@ struct SimJob
         BaseOnly, //!< fills SimJobResult::run/stats
         HsuOnly,  //!< fills SimJobResult::run/stats
         Trace,    //!< simulate `trace` under `gpu` (run/stats)
+        SemLower, //!< lower `sem` with `lowering`, then simulate
     };
 
     Kind kind = Kind::Workload;
@@ -138,14 +167,24 @@ struct SimJob
     /** Kind::Trace only: the prebuilt trace to simulate (shared so a
      *  bench can submit the same emission under several configs). */
     std::shared_ptr<const KernelTrace> trace;
+    /** Kind::SemLower only: a pre-emitted semantic trace shared across
+     *  every job of a sweep (emit once, lower many). The lowered trace
+     *  is created and destroyed inside the worker, so N in-flight jobs
+     *  share ONE semantic trace instead of holding N lowered copies. */
+    std::shared_ptr<const SemKernelTrace> sem;
+    /** Kind::SemLower only: the lowering applied to `sem`. */
+    Lowering lowering;
 };
 
 /** Result slot for one SimJob (which members are set depends on kind). */
 struct SimJobResult
 {
     WorkloadResult workload; //!< Kind::Workload
-    RunResult run;           //!< Kind::BaseOnly / Kind::HsuOnly
-    StatGroup stats;         //!< Kind::BaseOnly / Kind::HsuOnly
+    RunResult run;           //!< Kind::BaseOnly/HsuOnly/Trace/SemLower
+    StatGroup stats;         //!< Kind::BaseOnly/HsuOnly/Trace/SemLower
+    /** Kind::SemLower only: instruction-mix stats of the lowered trace
+     *  (the trace itself never leaves the worker). */
+    TraceStats traceStats;
 };
 
 /**
@@ -198,14 +237,20 @@ struct ServeKnobs
  * point/key queries per warp — so batch cost is exactly what the
  * closed-loop experiments measure at that batch size.
  *
+ * The batch goes through the same emit + lowerTrace() split as the
+ * offline benches (the legacy kernel.run(variant) wrapper is gone from
+ * this path) and comes back as an immutable shared trace that can be
+ * handed to simulateKernel() without copying.
+ *
  * @param query_ids ids in [0, pool_size); one request each
  * @param knobs     (possibly degraded) kernel quality knobs
  */
-KernelTrace emitBatchTrace(Algo algo, DatasetId dataset,
-                           KernelVariant variant, const DatapathConfig &dp,
-                           const std::vector<std::uint32_t> &query_ids,
-                           std::size_t pool_size,
-                           const ServeKnobs &knobs = ServeKnobs{});
+std::shared_ptr<const KernelTrace>
+emitBatchTrace(Algo algo, DatasetId dataset, KernelVariant variant,
+               const DatapathConfig &dp,
+               const std::vector<std::uint32_t> &query_ids,
+               std::size_t pool_size,
+               const ServeKnobs &knobs = ServeKnobs{});
 
 /** Datasets an algorithm is evaluated on (Table II usage). */
 std::vector<DatasetId> datasetsForAlgo(Algo algo);
@@ -215,7 +260,10 @@ std::vector<DatasetId> datasetsForAlgo(Algo algo);
 std::string workloadLabel(Algo algo, const DatasetInfo &info);
 
 /** Pick a BVH-NN/search radius for a 3-D dataset: twice the median
- *  nearest-neighbor spacing of a deterministic sample. */
+ *  nearest-neighbor spacing of a deterministic sample. The exact
+ *  nearest neighbor of each sampled point is found with a uniform-grid
+ *  ring scan (O(samples x density) instead of O(samples x N)); the
+ *  result is bit-identical to the brute-force scan it replaced. */
 float pickRadius(const PointSet &points, std::uint64_t seed = 42);
 
 } // namespace hsu

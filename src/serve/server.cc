@@ -81,9 +81,9 @@ Server::run(const std::vector<Request> &requests)
         const std::uint32_t pool_size = cfg_.queryPoolSize;
         inst.pendingCycles = pool.submit(
             [gpu, algo, dataset, variant, ids, pool_size, knobs]() {
-                const KernelTrace trace = emitBatchTrace(
-                    algo, dataset, variant, gpu.datapath, ids,
-                    pool_size, knobs);
+                const std::shared_ptr<const KernelTrace> trace =
+                    emitBatchTrace(algo, dataset, variant, gpu.datapath,
+                                   ids, pool_size, knobs);
                 StatGroup stats;
                 return simulateKernel(gpu, trace, stats).cycles;
             });

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/phase_timer.hh"
 
 namespace hsu
 {
@@ -160,8 +161,18 @@ RunResult
 simulateKernel(const GpuConfig &cfg, const KernelTrace &trace,
                StatGroup &stats)
 {
+    const ScopedPhaseTimer timer(PipelinePhase::Simulate);
     Gpu gpu(cfg, stats);
     return gpu.run(trace);
+}
+
+RunResult
+simulateKernel(const GpuConfig &cfg,
+               const std::shared_ptr<const KernelTrace> &trace,
+               StatGroup &stats)
+{
+    hsu_assert(trace, "simulateKernel: null shared trace");
+    return simulateKernel(cfg, *trace, stats);
 }
 
 } // namespace hsu

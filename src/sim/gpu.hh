@@ -101,6 +101,16 @@ class Gpu
 RunResult simulateKernel(const GpuConfig &cfg, const KernelTrace &trace,
                          StatGroup &stats);
 
+/**
+ * Shared-trace overload: the executor and the serving layer hand the
+ * same immutable lowered trace to many simulations without copying it
+ * (see DESIGN.md "Trace lifetime and sharing"). The simulation only
+ * reads the trace; the shared_ptr keeps it alive for the duration.
+ */
+RunResult simulateKernel(const GpuConfig &cfg,
+                         const std::shared_ptr<const KernelTrace> &trace,
+                         StatGroup &stats);
+
 } // namespace hsu
 
 #endif // HSU_SIM_GPU_HH

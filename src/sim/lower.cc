@@ -4,12 +4,98 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/phase_timer.hh"
 
 namespace hsu
 {
 
 namespace
 {
+
+/**
+ * Upper-bound the lowered op / address-pool sizes of one warp so the
+ * output vectors are reserved once instead of growing geometrically
+ * (lowered traces are the pipeline's largest transient allocation).
+ * The bounds are exact for the Baseline and Hsu lowerings; a
+ * PartialOffload mix takes the larger of the two per op.
+ */
+struct LoweredSizeEstimate
+{
+    std::size_t ops = 0;
+    std::size_t addrs = 0;
+};
+
+LoweredSizeEstimate
+estimateLowered(const SemWarpTrace &sem, const Lowering &low)
+{
+    const bool base_like = low.kind != Lowering::Kind::Hsu;
+    const bool hsu_like = low.kind != Lowering::Kind::Baseline;
+    LoweredSizeEstimate est;
+    for (const SemOp &op : sem.ops) {
+        switch (op.kind) {
+          case SemKind::Alu:
+          case SemKind::Shared:
+          case SemKind::Store:
+            est.ops += 1;
+            break;
+          case SemKind::Load:
+            est.ops += 1;
+            if (op.addr.poolIndex >= 0)
+                est.addrs += kWarpSize;
+            break;
+          case SemKind::Distance: {
+            const DistanceShape &s = op.dist;
+            std::size_t base_ops = 0, base_addrs = 0;
+            if (s.warpCooperative) {
+                // Per candidate: chunk loads + FMA blocks, reduction,
+                // epilogue. Pattern loads use no pool entries.
+                base_ops = std::size_t(op.nCands) *
+                           (2u * s.chunkCount + 2u);
+            } else {
+                base_ops = std::size_t(s.chunkCount) + 1;
+                base_addrs = std::size_t(s.chunkCount) * kWarpSize;
+            }
+            // HSU: one CISC instruction (+ trailing scalar block).
+            const std::size_t hsu_ops = 2;
+            est.ops += std::max(base_like ? base_ops : 0,
+                                hsu_like ? hsu_ops : 0);
+            est.addrs += std::max(base_like ? base_addrs : 0,
+                                  hsu_like ? std::size_t(kWarpSize) : 0);
+            break;
+          }
+          case SemKind::KeyCompare:
+            if (op.laneProbe) { // unit-resident: one KEY_COMPARE
+                est.ops += 1;
+                est.addrs += kWarpSize;
+            } else {
+                const std::size_t chunks =
+                    (op.nKeys + kWarpSize - 1) / kWarpSize;
+                est.ops += std::max(base_like ? 2 * chunks + 1 : 0,
+                                    hsu_like ? std::size_t(2) : 0);
+                if (hsu_like)
+                    est.addrs += kWarpSize;
+            }
+            break;
+          case SemKind::BoxTest:
+            est.ops += std::max(
+                base_like && !op.box.unitResident
+                    ? std::size_t(op.box.blChunks) + 1
+                    : 0,
+                std::size_t(1));
+            est.addrs += std::max(
+                base_like && !op.box.unitResident
+                    ? std::size_t(op.box.blChunks) * kWarpSize
+                    : 0,
+                std::size_t(kWarpSize));
+            break;
+          case SemKind::TriTest:
+            est.ops += 1;
+            est.addrs += kWarpSize;
+            break;
+        }
+    }
+    return est;
+}
 
 /** Lowers one warp's semantic trace into @p out. */
 class WarpLowerer
@@ -327,10 +413,15 @@ class WarpLowerer
 KernelTrace
 lowerTrace(const SemKernelTrace &sem, const Lowering &low)
 {
+    const ScopedPhaseTimer timer(PipelinePhase::Lower);
     KernelTrace out;
     out.warps.resize(sem.warps.size());
-    for (std::size_t w = 0; w < sem.warps.size(); ++w)
+    for (std::size_t w = 0; w < sem.warps.size(); ++w) {
+        const LoweredSizeEstimate est = estimateLowered(sem.warps[w], low);
+        out.warps[w].ops.reserve(est.ops);
+        out.warps[w].addrPool.reserve(est.addrs);
         WarpLowerer(sem.warps[w], out.warps[w], low).run();
+    }
     return out;
 }
 

