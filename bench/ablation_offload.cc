@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "bench_common.hh"
+#include "common/argparse.hh"
 #include "sim/trace_stats.hh"
 
 using namespace hsu;
@@ -26,8 +27,19 @@ constexpr double kFractions[] = {0.0, 0.25, 0.5, 0.75, 1.0};
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("ablation_offload",
+                   "cycles vs offloaded fraction of semantic ops");
+    bool quick = false;
+    unsigned jobs = 0;
+    args.envFlag(quick, "quick", "HSU_QUICK",
+                 "quarter-size query batches");
+    args.envOpt(jobs, "jobs", "HSU_JOBS",
+                "worker threads for the sweep executor");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     const GpuConfig gpu = bench::defaultGpu(); // RT unit enabled
     Table t("Offload ablation: cycles vs offloaded fraction of "
             "semantic ops",

@@ -23,6 +23,7 @@
  */
 
 #include "bench_common.hh"
+#include "common/argparse.hh"
 #include "serve/server.hh"
 
 using namespace hsu;
@@ -90,9 +91,20 @@ maxBatchFor(Algo algo)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    const bool quick = quickScale() < 1.0;
+    ArgParser args("serve_latency",
+                   "open-loop serving latency sweep, HSU vs non-RT "
+                   "baseline");
+    bool quick = false;
+    unsigned jobs = 0;
+    args.envFlag(quick, "quick", "HSU_QUICK",
+                 "2 sweep points / 2 batches per point");
+    args.envOpt(jobs, "jobs", "HSU_JOBS",
+                "worker threads for parallel phases");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     // ~8 full batches of traffic per sweep point (2 in quick mode).
     const std::size_t batches_per_point = quick ? 2 : 8;
     const std::vector<double> load_multipliers =

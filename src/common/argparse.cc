@@ -1,0 +1,277 @@
+#include "common/argparse.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+
+namespace
+{
+
+bool
+envTruthy(const char *v)
+{
+    return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+} // namespace
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description))
+{
+}
+
+void
+ArgParser::flag(bool &out, const std::string &name,
+                const std::string &help)
+{
+    options_.push_back(Option{Type::Flag, name, "", help, &out});
+}
+
+void
+ArgParser::envFlag(bool &out, const std::string &name,
+                   const std::string &env_var, const std::string &help)
+{
+    options_.push_back(Option{Type::Flag, name, env_var, help, &out});
+}
+
+void
+ArgParser::opt(std::string &out, const std::string &name,
+               const std::string &help)
+{
+    options_.push_back(Option{Type::String, name, "", help, &out});
+}
+
+void
+ArgParser::opt(unsigned &out, const std::string &name,
+               const std::string &help)
+{
+    options_.push_back(Option{Type::Unsigned, name, "", help, &out});
+}
+
+void
+ArgParser::opt(double &out, const std::string &name,
+               const std::string &help)
+{
+    options_.push_back(Option{Type::Double, name, "", help, &out});
+}
+
+void
+ArgParser::envOpt(unsigned &out, const std::string &name,
+                  const std::string &env_var, const std::string &help)
+{
+    options_.push_back(Option{Type::Unsigned, name, env_var, help, &out});
+}
+
+ArgParser::Option *
+ArgParser::find(const std::string &name)
+{
+    for (Option &o : options_) {
+        if (o.name == name)
+            return &o;
+    }
+    return nullptr;
+}
+
+void
+ArgParser::applyEnvDefaults()
+{
+    for (Option &o : options_) {
+        if (o.envVar.empty())
+            continue;
+        const char *v = std::getenv(o.envVar.c_str());
+        if (v == nullptr)
+            continue;
+        switch (o.type) {
+          case Type::Flag:
+            *static_cast<bool *>(o.target) = envTruthy(v);
+            break;
+          case Type::Unsigned: {
+            char *end = nullptr;
+            const unsigned long parsed = std::strtoul(v, &end, 10);
+            // Malformed values fall back silently, matching the
+            // historical getenv() sites (threadpool.cc).
+            if (end != v && *end == '\0')
+                *static_cast<unsigned *>(o.target) =
+                    static_cast<unsigned>(parsed);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+void
+ArgParser::exportEnvValues() const
+{
+    for (const Option &o : options_) {
+        if (o.envVar.empty())
+            continue;
+        std::string value;
+        switch (o.type) {
+          case Type::Flag:
+            value = *static_cast<const bool *>(o.target) ? "1" : "";
+            break;
+          case Type::Unsigned:
+            value = std::to_string(*static_cast<const unsigned *>(
+                o.target));
+            break;
+          default:
+            continue;
+        }
+        if (value.empty()) {
+            ::unsetenv(o.envVar.c_str());
+        } else {
+            ::setenv(o.envVar.c_str(), value.c_str(), /*overwrite=*/1);
+        }
+    }
+}
+
+bool
+ArgParser::parse(int argc, const char *const *argv)
+{
+    applyEnvDefaults();
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << usage();
+            exitCode_ = 0;
+            return false;
+        }
+        if (arg.rfind("--", 0) != 0) {
+            std::cerr << program_ << ": unexpected argument '" << arg
+                      << "'\n"
+                      << usage();
+            exitCode_ = 64;
+            return false;
+        }
+
+        // Split --name=value.
+        std::string name = arg.substr(2);
+        std::string inline_value;
+        bool have_inline = false;
+        const std::size_t eq = name.find('=');
+        if (eq != std::string::npos) {
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            have_inline = true;
+        }
+
+        // --no-name negates a flag.
+        bool negated = false;
+        Option *o = find(name);
+        if (o == nullptr && name.rfind("no-", 0) == 0) {
+            o = find(name.substr(3));
+            negated = o != nullptr && o->type == Type::Flag;
+            if (!negated)
+                o = nullptr;
+        }
+        if (o == nullptr) {
+            std::cerr << program_ << ": unknown option '--" << name
+                      << "'\n"
+                      << usage();
+            exitCode_ = 64;
+            return false;
+        }
+
+        if (o->type == Type::Flag) {
+            if (have_inline) {
+                std::cerr << program_ << ": flag '--" << o->name
+                          << "' takes no value\n";
+                exitCode_ = 64;
+                return false;
+            }
+            *static_cast<bool *>(o->target) = !negated;
+            continue;
+        }
+
+        if (!have_inline) {
+            if (i + 1 >= argc) {
+                std::cerr << program_ << ": option '--" << o->name
+                          << "' needs a value\n";
+                exitCode_ = 64;
+                return false;
+            }
+            inline_value = argv[++i];
+        }
+
+        std::istringstream is(inline_value);
+        bool ok = false;
+        switch (o->type) {
+          case Type::String:
+            *static_cast<std::string *>(o->target) = inline_value;
+            ok = true;
+            break;
+          case Type::Unsigned: {
+            unsigned v = 0;
+            ok = static_cast<bool>(is >> v) && is.eof();
+            if (ok)
+                *static_cast<unsigned *>(o->target) = v;
+            break;
+          }
+          case Type::Double: {
+            double v = 0.0;
+            ok = static_cast<bool>(is >> v) && is.eof();
+            if (ok)
+                *static_cast<double *>(o->target) = v;
+            break;
+          }
+          case Type::Flag:
+            break; // handled above
+        }
+        if (!ok) {
+            std::cerr << program_ << ": bad value '" << inline_value
+                      << "' for option '--" << o->name << "'\n";
+            exitCode_ = 64;
+            return false;
+        }
+    }
+
+    exportEnvValues();
+    return true;
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << program_ << " [options]\n  " << description_
+       << "\n\noptions:\n";
+    for (const Option &o : options_) {
+        std::string left = "  --" + o.name;
+        switch (o.type) {
+          case Type::Flag:
+            left += " | --no-" + o.name;
+            break;
+          case Type::String:
+            left += " <str>";
+            break;
+          case Type::Unsigned:
+            left += " <n>";
+            break;
+          case Type::Double:
+            left += " <x>";
+            break;
+        }
+        os << left;
+        if (left.size() < 28)
+            os << std::string(28 - left.size(), ' ');
+        else
+            os << "\n" << std::string(28, ' ');
+        os << o.help;
+        if (!o.envVar.empty())
+            os << " [env: " << o.envVar << "]";
+        os << "\n";
+    }
+    os << "  --help | -h" << std::string(28 - 13, ' ')
+       << "show this message\n";
+    return os.str();
+}
+
+} // namespace hsu

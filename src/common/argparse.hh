@@ -1,0 +1,110 @@
+/**
+ * @file
+ * One argv parser for every tool and bench binary.
+ *
+ * Historically the bench fleet was configured purely through
+ * environment knobs (HSU_QUICK, HSU_JOBS, ...) read ad hoc at scattered
+ * getenv() sites, and each new tool grew its own flag loop. ArgParser
+ * unifies both: a flag may be backed by an environment variable, in
+ * which case the environment supplies the default and the command line
+ * overrides it — and env-backed flags write their parsed value back
+ * through setenv(), so the existing getenv() plumbing deep in the
+ * runner/threadpool observes `--quick` / `--jobs N` exactly as if the
+ * variable had been exported.
+ *
+ * Usage:
+ *   ArgParser args("trace_lint", "static trace/IR linter");
+ *   bool quick = false;
+ *   args.envFlag(quick, "quick", "HSU_QUICK", "quarter-size queries");
+ *   std::string algo = "all";
+ *   args.opt(algo, "algo", "ggnn|flann|bvhnn|btree|rtindex|all");
+ *   if (!args.parse(argc, argv))
+ *       return args.exitCode();
+ */
+
+#ifndef HSU_COMMON_ARGPARSE_HH
+#define HSU_COMMON_ARGPARSE_HH
+
+#include <string>
+#include <vector>
+
+namespace hsu
+{
+
+class ArgParser
+{
+  public:
+    ArgParser(std::string program, std::string description);
+
+    /** Boolean flag: `--name` sets it true, `--no-name` false. */
+    void flag(bool &out, const std::string &name, const std::string &help);
+
+    /**
+     * Env-backed boolean flag: a set, non-empty, non-"0" environment
+     * variable makes the default true; `--name`/`--no-name` override
+     * and write the result back to the environment.
+     */
+    void envFlag(bool &out, const std::string &name,
+                 const std::string &env_var, const std::string &help);
+
+    /** Value options: `--name V` or `--name=V`. */
+    void opt(std::string &out, const std::string &name,
+             const std::string &help);
+    void opt(unsigned &out, const std::string &name,
+             const std::string &help);
+    void opt(double &out, const std::string &name,
+             const std::string &help);
+
+    /**
+     * Env-backed unsigned option (e.g. --jobs / HSU_JOBS): the
+     * environment supplies the default, the command line overrides,
+     * and the parsed value is written back to the environment.
+     */
+    void envOpt(unsigned &out, const std::string &name,
+                const std::string &env_var, const std::string &help);
+
+    /**
+     * Parse argv. On `--help` prints usage and returns false with exit
+     * code 0; on a parse error prints the error + usage to stderr and
+     * returns false with exit code 64 (EX_USAGE). On success returns
+     * true after pushing env-backed values into the environment.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** Exit code to use when parse() returned false. */
+    int exitCode() const { return exitCode_; }
+
+    /** Render the usage text (tests / --help). */
+    std::string usage() const;
+
+  private:
+    enum class Type
+    {
+        Flag,
+        String,
+        Unsigned,
+        Double,
+    };
+
+    struct Option
+    {
+        Type type;
+        std::string name;
+        std::string envVar; //!< empty: not env-backed
+        std::string help;
+        void *target;
+    };
+
+    Option *find(const std::string &name);
+    void applyEnvDefaults();
+    void exportEnvValues() const;
+
+    std::string program_;
+    std::string description_;
+    std::vector<Option> options_;
+    int exitCode_ = 0;
+};
+
+} // namespace hsu
+
+#endif // HSU_COMMON_ARGPARSE_HH

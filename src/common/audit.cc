@@ -1,0 +1,106 @@
+#include "common/audit.hh"
+
+#include <mutex>
+#include <string_view>
+
+#include "common/logging.hh"
+
+namespace hsu::audit
+{
+
+namespace
+{
+
+/**
+ * Registration happens from static initializers across translation
+ * units, so the registry guards itself with a function-local static
+ * (initialized on first use, thread-safe since C++11) rather than a
+ * namespace-scope global it could race with. All accessors lock: audit
+ * bookkeeping is deliberately off the per-cycle path, so a mutex is
+ * simpler than juggling atomics across a growing vector.
+ */
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<NondetSource> sources;
+    std::vector<std::uint64_t> counts; //!< one per source
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+std::size_t
+registerNondetSource(NondetKind kind, const char *site,
+                     const char *discipline)
+{
+    if (enabled() && (discipline == nullptr || discipline[0] == '\0')) {
+        hsu_panic("audit: nondeterminism source '",
+                  site ? site : "(null)",
+                  "' registered without a discipline — state how this "
+                  "source keeps outputs bit-identical");
+    }
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.sources.push_back(NondetSource{kind, site, discipline});
+    r.counts.push_back(0);
+    return r.sources.size() - 1;
+}
+
+const std::vector<NondetSource> &
+sources()
+{
+    // Registration is static-init-time only, so handing out a
+    // reference after main() starts is safe without the lock.
+    return registry().sources;
+}
+
+std::vector<NondetSource>
+sourcesOfKind(NondetKind kind)
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<NondetSource> out;
+    for (const NondetSource &s : r.sources) {
+        if (s.kind == kind)
+            out.push_back(s);
+    }
+    return out;
+}
+
+bool
+hasSource(const char *site)
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    for (const NondetSource &s : r.sources) {
+        if (std::string_view(s.site) == site)
+            return true;
+    }
+    return false;
+}
+
+void
+noteUse(std::size_t id)
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    hsu_assert(id < r.counts.size(), "audit: unregistered source id ",
+               id);
+    ++r.counts[id];
+}
+
+std::uint64_t
+useCount(std::size_t id)
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    return id < r.counts.size() ? r.counts[id] : 0;
+}
+
+} // namespace hsu::audit

@@ -64,12 +64,64 @@ void informImpl(const std::string &msg);
 #define hsu_inform(...)                                                     \
     ::hsu::detail::informImpl(::hsu::detail::concat(__VA_ARGS__))
 
-/** Assert a simulator invariant; compiled in all build types. */
+/**
+ * Discard a condition without evaluating it: the expansion of every
+ * compiled-out assertion flavor below. `sizeof` leaves its operand
+ * unevaluated, so a `++i` condition has no effect in any build type
+ * while still being parsed and type-checked (a stale condition that no
+ * longer compiles breaks the build even where the check is off).
+ */
+#define HSU_DETAIL_UNEVALUATED(cond) ((void)sizeof(!(cond)))
+
+/**
+ * Assert a simulator invariant; compiled in all build types. The
+ * condition is evaluated exactly once (tests/common/test_contract.cc
+ * pins this at compile time). Use for structural invariants whose cost
+ * is off the per-cycle path; per-cycle checks belong in
+ * hsu_debug_assert.
+ */
 #define hsu_assert(cond, ...)                                               \
     do {                                                                    \
         if (!(cond)) {                                                      \
             hsu_panic("assertion failed: " #cond " ", ##__VA_ARGS__);       \
         }                                                                   \
     } while (0)
+
+/**
+ * Assert a hot-loop invariant; compiled out under NDEBUG (the default
+ * RelWithDebInfo build), evaluated exactly once otherwise. Per-cycle
+ * simulator paths (SM issue, LSU, the Gpu::run loop) use this so
+ * release builds pay nothing.
+ */
+#ifdef NDEBUG
+#define hsu_debug_assert(cond, ...) HSU_DETAIL_UNEVALUATED(cond)
+#else
+#define hsu_debug_assert(cond, ...)                                         \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            hsu_panic("debug assertion failed: " #cond " ",                 \
+                      ##__VA_ARGS__);                                       \
+        }                                                                   \
+    } while (0)
+#endif
+
+/**
+ * Determinism-contract check: active only in HSU_AUDIT builds
+ * (-DHSU_AUDIT=ON), where it panics on violation; compiled out (and
+ * not evaluated) everywhere else. Contracts state the ordering /
+ * reproducibility disciplines the bit-identical-output guarantee rests
+ * on — see src/common/audit.hh for the audited-nondeterminism registry
+ * and DESIGN.md "Static auditing" for the catalog.
+ */
+#ifdef HSU_AUDIT
+#define hsu_contract(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            hsu_panic("contract violated: " #cond " ", ##__VA_ARGS__);      \
+        }                                                                   \
+    } while (0)
+#else
+#define hsu_contract(cond, ...) HSU_DETAIL_UNEVALUATED(cond)
+#endif
 
 #endif // HSU_COMMON_LOGGING_HH

@@ -3,10 +3,21 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace hsu
 {
+
+namespace
+{
+
+[[maybe_unused]] HSU_AUDIT_NONDET_SOURCE(
+    kMshrAudit, audit::NondetKind::UnorderedIteration, "cache.cc:mshr_",
+    "hash map accessed by line key only (find/erase); never iterated "
+    "into stats, traces, or event-cycle scans");
+
+} // namespace
 
 Cache::Cache(CacheParams params, StatGroup &stats)
     : params_(std::move(params)),

@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <bit>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace hsu
 {
+
+namespace
+{
+
+[[maybe_unused]] HSU_AUDIT_NONDET_SOURCE(
+    kPendingLinesAudit, audit::NondetKind::UnorderedIteration,
+    "rtunit.cc:pendingLines_",
+    "hash map accessed by fetched-line key only; waiter wakeup order "
+    "is the entry-index vector, not hash order");
+
+} // namespace
 
 RtUnit::RtUnit(RtUnitParams params, Cache &l1, StatGroup &stats)
     : params_(std::move(params)), l1_(l1),

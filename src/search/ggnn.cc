@@ -5,10 +5,22 @@
 #include <queue>
 #include <unordered_set>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace hsu
 {
+
+namespace
+{
+
+[[maybe_unused]] HSU_AUDIT_NONDET_SOURCE(
+    kVisitedAudit, audit::NondetKind::UnorderedIteration,
+    "ggnn.cc:visited",
+    "hash set used for membership tests only; candidate order comes "
+    "from the sorted beam, never from set iteration");
+
+} // namespace
 
 GgnnKernel::GgnnKernel(const HnswGraph &graph, GgnnConfig cfg)
     : graph_(graph), cfg_(cfg)

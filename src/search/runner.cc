@@ -18,6 +18,8 @@
 #include <unistd.h>
 #endif
 
+#include "analysis/trace_lint.hh"
+#include "common/audit.hh"
 #include "common/logging.hh"
 #include "common/phase_timer.hh"
 #include "common/threadpool.hh"
@@ -504,40 +506,65 @@ servePool(DatasetId id, std::size_t pool_size)
     });
 }
 
+/**
+ * Debug-build emission hook: every kernel's semantic trace runs the
+ * static linter at emission time; release builds (unless HSU_AUDIT)
+ * compile the check out.
+ */
+void
+maybeLintEmission([[maybe_unused]] const SemKernelTrace &sem,
+                  [[maybe_unused]] Algo algo)
+{
+#if !defined(NDEBUG) || defined(HSU_AUDIT)
+    lintSemTraceOrDie(sem, toString(algo).c_str());
+#endif
+}
+
+[[maybe_unused]] HSU_AUDIT_NONDET_SOURCE(
+    kStatMergeAudit, audit::NondetKind::FloatAccumulation,
+    "runner.cc:runJobsParallel",
+    "futures are joined in submission order, so floating-point stat "
+    "merges see a fixed accumulation order regardless of worker "
+    "scheduling");
+
 } // namespace
 
 SemKernelTrace
 emitSemantic(Algo algo, DatasetId id, const RunnerOptions &opts)
 {
-    const ScopedPhaseTimer timer(PipelinePhase::Emit);
-    const DatasetInfo &info = datasetInfo(id);
-    switch (algo) {
-      case Algo::Ggnn: {
-        const auto &a = ggnnAssets(id);
-        const PointSet queries =
-            generateQueries(info, opts.ggnnQueries);
-        return a.kernel->emit(queries).sem;
-      }
-      case Algo::Flann: {
-        const auto &a = pointAssets(id);
-        const PointSet queries =
-            generateQueries(info, opts.pointQueries);
-        return a.flannKernel->emit(queries).sem;
-      }
-      case Algo::Bvhnn: {
-        const auto &a = pointAssets(id);
-        const PointSet queries =
-            generateQueries(info, opts.pointQueries);
-        return a.bvhKernel->emit(queries).sem;
-      }
-      case Algo::Btree: {
-        const auto &a = keyAssets(id);
-        const std::vector<std::uint32_t> queries =
-            generateKeyQueries(info, opts.keyQueries);
-        return a.kernel->emit(queries).sem;
-      }
-    }
-    hsu_panic("unknown algo");
+    SemKernelTrace sem = [&]() -> SemKernelTrace {
+        const ScopedPhaseTimer timer(PipelinePhase::Emit);
+        const DatasetInfo &info = datasetInfo(id);
+        switch (algo) {
+          case Algo::Ggnn: {
+            const auto &a = ggnnAssets(id);
+            const PointSet queries =
+                generateQueries(info, opts.ggnnQueries);
+            return a.kernel->emit(queries).sem;
+          }
+          case Algo::Flann: {
+            const auto &a = pointAssets(id);
+            const PointSet queries =
+                generateQueries(info, opts.pointQueries);
+            return a.flannKernel->emit(queries).sem;
+          }
+          case Algo::Bvhnn: {
+            const auto &a = pointAssets(id);
+            const PointSet queries =
+                generateQueries(info, opts.pointQueries);
+            return a.bvhKernel->emit(queries).sem;
+          }
+          case Algo::Btree: {
+            const auto &a = keyAssets(id);
+            const std::vector<std::uint32_t> queries =
+                generateKeyQueries(info, opts.keyQueries);
+            return a.kernel->emit(queries).sem;
+          }
+        }
+        hsu_panic("unknown algo");
+    }();
+    maybeLintEmission(sem, algo);
+    return sem;
 }
 
 namespace
@@ -703,6 +730,7 @@ emitBatchTrace(Algo algo, DatasetId dataset, KernelVariant variant,
         }
         hsu_panic("unknown algo");
     }();
+    maybeLintEmission(sem, algo);
     return std::make_shared<const KernelTrace>(
         lowerTrace(sem, loweringFor(variant, dp)));
 }
@@ -718,6 +746,8 @@ runLowered(Algo algo, DatasetId dataset, const GpuConfig &gpu,
     const std::shared_ptr<const SemKernelTrace> sem =
         emitSemanticShared(algo, dataset, opts);
     const KernelTrace trace = lowerTrace(*sem, lowering);
+    hsu_contract(trace.warps.size() == sem->warps.size(),
+                 "lowering must preserve the warp count");
     return simulateKernel(gpu, trace, stats);
 }
 

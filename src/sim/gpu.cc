@@ -58,6 +58,7 @@ Gpu::panicWedged(const char *why, std::uint64_t now)
     // Dump forensic state before dying: a wedged simulation is always
     // a simulator bug.
     for (const auto &[name, value] : stats_.dump())
+        // audit[stray-stdio]: forensic dump on the panic path
         std::fprintf(stderr, "  %s = %.0f\n", name.c_str(), value);
     hsu_panic(why, " at cycle ", now);
 }
@@ -106,7 +107,9 @@ Gpu::run(const KernelTrace &trace, std::uint64_t max_cycles)
         const Cycle next = nextEventCycle(now);
         if (next == kNeverCycle)
             panicWedged("no future event but simulation not done", now);
-        hsu_assert(next > now, "next event cycle must be in the future");
+        // Main simulation loop: release builds skip the check.
+        hsu_debug_assert(next > now,
+                         "next event cycle must be in the future");
 
         if (skip) {
             if (next > now + 1) {

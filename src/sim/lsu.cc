@@ -42,7 +42,8 @@ bool
 Lsu::issue(const std::vector<std::uint64_t> &lines, bool write,
            MemCompletion done)
 {
-    hsu_assert(!lines.empty(), "memory instruction with no lines");
+    // Per-memory-instruction path: release builds skip the check.
+    hsu_debug_assert(!lines.empty(), "memory instruction with no lines");
     if (queue_.size() + lines.size() > capacity_)
         return false;
 

@@ -68,8 +68,9 @@ Sm::retireFinished(std::uint64_t now)
     for (auto &w : warps_) {
         if (w.active && w.pc >= w.trace->ops.size() &&
             w.outstanding == 0 && w.blockEnd <= now) {
-            hsu_assert(w.pendingTokens == 0,
-                       "warp retired with pending tokens");
+            // Per-cycle path: release builds skip the check.
+            hsu_debug_assert(w.pendingTokens == 0,
+                             "warp retired with pending tokens");
             w.active = false;
             w.trace = nullptr;
             --activeCount_;
@@ -322,7 +323,7 @@ cyclesWithResidue(std::uint64_t first, std::uint64_t last, std::uint64_t n,
 void
 Sm::fastForwardStats(Cycle now, Cycle next)
 {
-    hsu_assert(next > now + 1, "fast-forward needs a non-empty gap");
+    hsu_debug_assert(next > now + 1, "fast-forward needs a non-empty gap");
     const std::uint64_t gap_cycles = next - now - 1;
     const double gap = static_cast<double>(gap_cycles);
 

@@ -7,10 +7,22 @@
 #include <queue>
 #include <unordered_set>
 
+#include "common/audit.hh"
 #include "common/logging.hh"
 
 namespace hsu
 {
+
+namespace
+{
+
+[[maybe_unused]] HSU_AUDIT_NONDET_SOURCE(
+    kBuildVisitedAudit, audit::NondetKind::UnorderedIteration,
+    "graph.cc:visited",
+    "hash set used for membership tests during HNSW build; neighbor "
+    "order comes from distance-sorted heaps, never from set iteration");
+
+} // namespace
 
 float
 metricDist(Metric metric, const float *a, const float *b, unsigned dim)

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * ArgParser: flag/option parsing, env-backed defaults and write-back,
+ * and the --help / error exit-code protocol the tools and benches rely
+ * on. Env-var tests use names private to this binary so parallel ctest
+ * runs cannot interfere.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/argparse.hh"
+
+namespace hsu
+{
+namespace
+{
+
+/** argv adapter (argv[0] is the program name, as in main()). */
+bool
+parseArgs(ArgParser &args, const std::vector<const char *> &rest)
+{
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), rest.begin(), rest.end());
+    return args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+/** Scoped env var: set/unset on entry, always unset on exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv() { unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+TEST(ArgParser, FlagDefaultsAndSet)
+{
+    ArgParser args("t", "d");
+    bool verbose = false;
+    args.flag(verbose, "verbose", "say more");
+    EXPECT_TRUE(parseArgs(args, {}));
+    EXPECT_FALSE(verbose);
+
+    ArgParser args2("t", "d");
+    args2.flag(verbose, "verbose", "say more");
+    EXPECT_TRUE(parseArgs(args2, {"--verbose"}));
+    EXPECT_TRUE(verbose);
+}
+
+TEST(ArgParser, FlagNegation)
+{
+    ArgParser args("t", "d");
+    bool verbose = true;
+    args.flag(verbose, "verbose", "say more");
+    EXPECT_TRUE(parseArgs(args, {"--no-verbose"}));
+    EXPECT_FALSE(verbose);
+}
+
+TEST(ArgParser, ValueOptionForms)
+{
+    ArgParser args("t", "d");
+    std::string algo = "all";
+    unsigned jobs = 0;
+    double fraction = 0.5;
+    args.opt(algo, "algo", "which kernel");
+    args.opt(jobs, "jobs", "worker threads");
+    args.opt(fraction, "fraction", "offload share");
+    EXPECT_TRUE(parseArgs(
+        args, {"--algo=ggnn", "--jobs", "4", "--fraction=0.25"}));
+    EXPECT_EQ(algo, "ggnn");
+    EXPECT_EQ(jobs, 4u);
+    EXPECT_DOUBLE_EQ(fraction, 0.25);
+}
+
+TEST(ArgParser, EnvFlagSuppliesDefault)
+{
+    ScopedEnv env("HSU_TEST_ARGPARSE_Q", "1");
+    ArgParser args("t", "d");
+    bool quick = false;
+    args.envFlag(quick, "quick", "HSU_TEST_ARGPARSE_Q", "smaller");
+    EXPECT_TRUE(parseArgs(args, {}));
+    EXPECT_TRUE(quick);
+}
+
+TEST(ArgParser, EnvFlagZeroAndEmptyMeanFalse)
+{
+    for (const char *v : {"0", ""}) {
+        ScopedEnv env("HSU_TEST_ARGPARSE_Q", v);
+        ArgParser args("t", "d");
+        bool quick = false;
+        args.envFlag(quick, "quick", "HSU_TEST_ARGPARSE_Q", "smaller");
+        EXPECT_TRUE(parseArgs(args, {}));
+        EXPECT_FALSE(quick) << "env value '" << v << "'";
+    }
+}
+
+TEST(ArgParser, CommandLineOverridesEnvAndWritesBack)
+{
+    ScopedEnv env("HSU_TEST_ARGPARSE_Q", "1");
+    ArgParser args("t", "d");
+    bool quick = false;
+    args.envFlag(quick, "quick", "HSU_TEST_ARGPARSE_Q", "smaller");
+    EXPECT_TRUE(parseArgs(args, {"--no-quick"}));
+    EXPECT_FALSE(quick);
+    // Downstream getenv() plumbing must observe the parsed value.
+    const char *after = getenv("HSU_TEST_ARGPARSE_Q");
+    EXPECT_TRUE(after == nullptr || std::string(after) == "0")
+        << "env left as '" << (after ? after : "(unset)") << "'";
+}
+
+TEST(ArgParser, EnvOptDefaultOverrideAndWriteBack)
+{
+    ScopedEnv env("HSU_TEST_ARGPARSE_J", "3");
+    ArgParser args("t", "d");
+    unsigned jobs = 0;
+    args.envOpt(jobs, "jobs", "HSU_TEST_ARGPARSE_J", "workers");
+    EXPECT_TRUE(parseArgs(args, {}));
+    EXPECT_EQ(jobs, 3u);
+
+    ArgParser args2("t", "d");
+    args2.envOpt(jobs, "jobs", "HSU_TEST_ARGPARSE_J", "workers");
+    EXPECT_TRUE(parseArgs(args2, {"--jobs", "8"}));
+    EXPECT_EQ(jobs, 8u);
+    const char *after = getenv("HSU_TEST_ARGPARSE_J");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(std::string(after), "8");
+}
+
+TEST(ArgParser, HelpReturnsFalseWithExitZero)
+{
+    ArgParser args("t", "d");
+    bool quick = false;
+    args.flag(quick, "quick", "smaller");
+    EXPECT_FALSE(parseArgs(args, {"--help"}));
+    EXPECT_EQ(args.exitCode(), 0);
+}
+
+TEST(ArgParser, ErrorsReturnExUsage)
+{
+    {
+        ArgParser args("t", "d");
+        EXPECT_FALSE(parseArgs(args, {"--no-such-option"}));
+        EXPECT_EQ(args.exitCode(), 64);
+    }
+    {
+        ArgParser args("t", "d");
+        unsigned jobs = 0;
+        args.opt(jobs, "jobs", "workers");
+        EXPECT_FALSE(parseArgs(args, {"--jobs"})); // missing value
+        EXPECT_EQ(args.exitCode(), 64);
+    }
+    {
+        ArgParser args("t", "d");
+        unsigned jobs = 0;
+        args.opt(jobs, "jobs", "workers");
+        EXPECT_FALSE(parseArgs(args, {"--jobs", "banana"}));
+        EXPECT_EQ(args.exitCode(), 64);
+    }
+}
+
+TEST(ArgParser, UsageNamesEveryOption)
+{
+    ArgParser args("lint_tool", "checks things");
+    bool quick = false;
+    unsigned jobs = 0;
+    args.flag(quick, "quick", "smaller");
+    args.opt(jobs, "jobs", "workers");
+    const std::string usage = args.usage();
+    EXPECT_NE(usage.find("lint_tool"), std::string::npos);
+    EXPECT_NE(usage.find("--quick"), std::string::npos);
+    EXPECT_NE(usage.find("--jobs"), std::string::npos);
+    EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+} // namespace
+} // namespace hsu

@@ -1,0 +1,288 @@
+#!/usr/bin/env python3
+"""Project lint: source-level determinism and hygiene rules.
+
+The simulator's headline guarantee is bit-identical output across
+thread counts and runs; the dynamic half of that audit lives in
+hsu_contract / the nondeterminism-source registry (src/common/audit.hh),
+and this linter is the static half. It bans the source patterns that
+historically cause silent nondeterminism or bypass the project's
+error-reporting discipline:
+
+  HL001 banned-rng           randomness outside hsu::Rng
+  HL002 unordered-iteration  naked range-for over unordered containers
+  HL003 naked-assert         C assert()/abort() instead of hsu_assert
+  HL004 stray-stdio          iostream/printf output from library code
+
+Suppression: a finding is waived by an audit annotation on the same
+line or the line above, naming the rule and a justification:
+
+    for (const auto &e : map_) // audit[unordered-iteration]: sorted below
+
+An annotation with no justification text after the colon is itself an
+error. Run from the repo root:  python3 tools/lint.py  (exit 1 on any
+finding). CI runs this as part of the blocking lint job.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories scanned for C++ sources, relative to the repo root.
+SCAN_DIRS = ["src", "tools", "bench", "examples", "tests"]
+CXX_SUFFIXES = {".cc", ".hh"}
+
+ANNOTATION_RE = re.compile(r"//\s*audit\[(?P<rule>[a-z-]+)\]:(?P<why>.*)")
+
+RULES = {}
+
+
+def rule(rule_id, name, summary):
+    """Register a rule function under an ID and annotation name."""
+
+    def wrap(fn):
+        RULES[rule_id] = {"name": name, "summary": summary, "fn": fn}
+        return fn
+
+    return wrap
+
+
+class Finding:
+    def __init__(self, rule_id, path, line_no, message):
+        self.rule_id = rule_id
+        self.path = path
+        self.line_no = line_no
+        self.message = message
+
+    def __str__(self):
+        return (f"{self.path}:{self.line_no}: {self.rule_id} "
+                f"[{RULES[self.rule_id]['name']}] {self.message}")
+
+
+def annotations(lines):
+    """Map line number -> (rule name, justification) for audit tags."""
+    out = {}
+    for i, line in enumerate(lines, start=1):
+        m = ANNOTATION_RE.search(line)
+        if m:
+            out[i] = (m.group("rule"), m.group("why").strip())
+    return out
+
+
+def waived(tags, line_no, name):
+    """An annotation on the flagged line or the line above waives it."""
+    for at in (line_no, line_no - 1):
+        tag = tags.get(at)
+        if tag and tag[0] == name and tag[1]:
+            return True
+    return False
+
+
+BANNED_RNG_RE = re.compile(
+    r"\b(srand|rand|drand48|lrand48|random_device|mt19937(?:_64)?|"
+    r"minstd_rand0?|default_random_engine|ranlux\w+)\b")
+# The Rng implementation itself is the one sanctioned home.
+RNG_HOME = {Path("src/common/rng.hh"), Path("src/common/rng.cc")}
+
+
+@rule("HL001", "banned-rng",
+      "all randomness flows through hsu::Rng (seeded, bit-reproducible)")
+def check_banned_rng(path, lines, tags, findings):
+    if path in RNG_HOME:
+        return
+    for i, line in enumerate(lines, start=1):
+        code = strip_comment(line)
+        m = BANNED_RNG_RE.search(code)
+        if not m:
+            continue
+        if waived(tags, i, "banned-rng"):
+            continue
+        findings.append(Finding(
+            "HL001", path, i,
+            f"'{m.group(1)}' bypasses hsu::Rng; seed an hsu::Rng from "
+            f"the workload key instead"))
+
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*"
+    r"(?P<name>\w+)\s*[;={(]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*:\s*(?P<seq>[^)]*)\)")
+
+
+@rule("HL002", "unordered-iteration",
+      "no naked range-for over unordered containers (hash order leaks "
+      "into traces/stats); sort via audit::orderedKeys or annotate")
+def check_unordered_iteration(path, lines, tags, findings):
+    declared = set()
+    for line in lines:
+        for m in UNORDERED_DECL_RE.finditer(strip_comment(line)):
+            declared.add(m.group("name"))
+    for i, line in enumerate(lines, start=1):
+        code = strip_comment(line)
+        m = RANGE_FOR_RE.search(code)
+        if not m:
+            continue
+        seq = m.group("seq")
+        seq_id = re.search(r"(\w+)\s*$", seq.strip())
+        hits = "unordered_" in seq or (
+            seq_id and seq_id.group(1) in declared)
+        if not hits:
+            continue
+        if waived(tags, i, "unordered-iteration"):
+            continue
+        findings.append(Finding(
+            "HL002", path, i,
+            f"range-for over unordered container '{seq.strip()}': "
+            f"iteration order is hash order; use audit::orderedKeys() "
+            f"or annotate with the discipline that makes this safe"))
+
+
+NAKED_ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
+ABORT_RE = re.compile(r"(?<![_\w])abort\s*\(")
+# logging.cc implements the panic path; its abort() is the sanctioned one.
+ABORT_HOME = {Path("src/common/logging.cc")}
+
+
+@rule("HL003", "naked-assert",
+      "invariants use hsu_assert/hsu_debug_assert/hsu_contract, not C "
+      "assert()/abort() (uniform messages, build-flavor gating)")
+def check_naked_assert(path, lines, tags, findings):
+    for i, line in enumerate(lines, start=1):
+        code = strip_comment(line)
+        if NAKED_ASSERT_RE.search(code) and "static_assert" not in code:
+            if not waived(tags, i, "naked-assert"):
+                findings.append(Finding(
+                    "HL003", path, i,
+                    "C assert(): use hsu_assert (always on) or "
+                    "hsu_debug_assert (hot loops) instead"))
+        if ABORT_RE.search(code) and path not in ABORT_HOME:
+            if not waived(tags, i, "naked-assert"):
+                findings.append(Finding(
+                    "HL003", path, i,
+                    "raw abort(): report through hsu_panic so the "
+                    "failure site and message are uniform"))
+
+
+STDIO_RE = re.compile(r"std::(?:cout|cerr)\b|\bf?printf\s*\(")
+# Library code reports through common/logging.hh; binaries (tools,
+# benches, examples, tests) and the designated output sites print.
+STDIO_LIB_DIRS = ("src/",)
+STDIO_ALLOWED = {
+    Path("src/common/logging.cc"),   # the logging implementation
+    Path("src/common/argparse.cc"),  # usage/error text to the console
+}
+
+
+@rule("HL004", "stray-stdio",
+      "library code reports through common/logging.hh; direct "
+      "iostream/printf output belongs to binaries and table writers")
+def check_stray_stdio(path, lines, tags, findings):
+    posix = path.as_posix()
+    if not posix.startswith(STDIO_LIB_DIRS):
+        return
+    if path in STDIO_ALLOWED:
+        return
+    for i, line in enumerate(lines, start=1):
+        code = strip_comment(line)
+        m = STDIO_RE.search(code)
+        if not m:
+            continue
+        if waived(tags, i, "stray-stdio"):
+            continue
+        findings.append(Finding(
+            "HL004", path, i,
+            "direct console output from library code: use hsu_inform/"
+            "hsu_warn, or return the text and print from the binary"))
+
+
+def strip_comment(line):
+    """Drop a trailing // comment and block-comment body lines (crude
+    but adequate: rules match call syntax, not prose)."""
+    stripped = line.lstrip()
+    if stripped.startswith(("//", "/*", "*")):
+        return ""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def check_annotations(path, lines, tags, findings):
+    """Malformed or unknown audit annotations are themselves findings."""
+    names = {info["name"] for info in RULES.values()}
+    for line_no, (name, why) in tags.items():
+        if name not in names:
+            findings.append(Finding(
+                "HL000", path, line_no,
+                f"audit annotation names unknown rule '{name}'"))
+        elif not why:
+            findings.append(Finding(
+                "HL000", path, line_no,
+                f"audit[{name}] annotation has no justification text"))
+
+
+RULES["HL000"] = {
+    "name": "annotation",
+    "summary": "audit annotations name a known rule and justify "
+               "themselves",
+    "fn": check_annotations,
+}
+
+
+def lint_file(root, rel):
+    """Lint one file; rules see the repo-relative path (the allow-list
+    sets above are repo-relative)."""
+    findings = []
+    try:
+        text = (root / rel).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        findings.append(Finding("HL000", rel, 0, f"unreadable: {err}"))
+        return findings
+    lines = text.splitlines()
+    tags = annotations(lines)
+    for info in RULES.values():
+        info["fn"](rel, lines, tags, findings)
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files to lint (default: the scan dirs)")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args()
+
+    if args.rules:
+        for rule_id in sorted(RULES):
+            info = RULES[rule_id]
+            print(f"{rule_id} [{info['name']}]: {info['summary']}")
+        return 0
+
+    root = Path(__file__).resolve().parent.parent
+    if args.paths:
+        files = [p for p in args.paths if p.suffix in CXX_SUFFIXES]
+    else:
+        files = []
+        for d in SCAN_DIRS:
+            for suffix in CXX_SUFFIXES:
+                files.extend(sorted((root / d).rglob(f"*{suffix}")))
+
+    all_findings = []
+    for f in files:
+        fabs = f if f.is_absolute() else (root / f).resolve()
+        try:
+            rel = fabs.relative_to(root)
+        except ValueError:
+            rel = f
+        all_findings.extend(lint_file(root, rel))
+
+    for finding in all_findings:
+        print(finding, file=sys.stderr)
+    if all_findings:
+        print(f"lint.py: {len(all_findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"lint.py: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
