@@ -1,0 +1,134 @@
+#include "common/tickteam.hh"
+
+#include "common/logging.hh"
+
+namespace hsu
+{
+namespace
+{
+
+/**
+ * Spin briefly before sleeping on the futex: rounds arrive every few
+ * microseconds while a simulation is hot, and a wait/notify round trip
+ * costs more than the spin. The bound keeps idle teams (caller busy in
+ * a long serial phase) from burning a core for more than ~a scheduler
+ * quantum's worth of checks.
+ */
+constexpr int kSpinRounds = 4096;
+
+} // namespace
+
+TickTeam::TickTeam(unsigned num_threads)
+{
+    if (num_threads < 2)
+        return;
+    workers_.reserve(num_threads - 1);
+    for (unsigned i = 1; i < num_threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+TickTeam::~TickTeam()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    round_.fetch_add(1, std::memory_order_release);
+    round_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+TickTeam::runChunk(const ChunkFn &fn, std::size_t count,
+                   std::size_t worker, std::size_t total)
+{
+    const std::size_t begin = count * worker / total;
+    const std::size_t end = count * (worker + 1) / total;
+    if (begin < end)
+        fn(begin, end);
+}
+
+void
+TickTeam::run(const ChunkFn &fn, std::size_t count)
+{
+    if (workers_.empty()) {
+        if (count > 0)
+            fn(0, count);
+        return;
+    }
+    fn_ = &fn;
+    count_ = count;
+    const std::uint64_t round =
+        round_.fetch_add(1, std::memory_order_release) + 1;
+    round_.notify_all();
+
+    // Worker 0's chunk runs here, overlapping the others. A throw
+    // must not escape before the barrier — the next round's fn_/count_
+    // would race with workers still in this one — so it is stashed
+    // like a worker's and rethrown below.
+    try {
+        runChunk(fn, count, 0, numThreads());
+    } catch (...) {
+        std::lock_guard lock(errorMutex_);
+        if (!error_)
+            error_ = std::current_exception();
+    }
+
+    // Wait for the cumulative arrival count this round implies. The
+    // acquire load pairs with the workers' release fetch_add, making
+    // their chunk writes visible before run() returns.
+    const std::uint64_t target =
+        round * static_cast<std::uint64_t>(workers_.size());
+    std::uint64_t seen = arrived_.load(std::memory_order_acquire);
+    for (int spins = 0; seen < target; ) {
+        if (++spins < kSpinRounds) {
+            seen = arrived_.load(std::memory_order_acquire);
+        } else {
+            arrived_.wait(seen, std::memory_order_acquire);
+            seen = arrived_.load(std::memory_order_acquire);
+            spins = 0;
+        }
+    }
+    fn_ = nullptr;
+
+    std::exception_ptr err;
+    {
+        std::lock_guard lock(errorMutex_);
+        err = error_;
+        error_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+TickTeam::workerLoop(std::size_t index)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        // Spin briefly for the next round, then sleep on the counter.
+        std::uint64_t current = round_.load(std::memory_order_acquire);
+        for (int spins = 0; current == seen; ) {
+            if (++spins < kSpinRounds) {
+                current = round_.load(std::memory_order_acquire);
+            } else {
+                round_.wait(seen, std::memory_order_acquire);
+                current = round_.load(std::memory_order_acquire);
+                spins = 0;
+            }
+        }
+        seen = current;
+        if (stop_.load(std::memory_order_relaxed))
+            return;
+
+        try {
+            runChunk(*fn_, count_, index, numThreads());
+        } catch (...) {
+            std::lock_guard lock(errorMutex_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+        arrived_.fetch_add(1, std::memory_order_release);
+        arrived_.notify_one();
+    }
+}
+
+} // namespace hsu

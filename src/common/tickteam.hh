@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Cycle-barrier worker team for intra-simulation parallel ticking.
+ *
+ * A ThreadPool is the wrong shape for per-cycle fan-out: a simulated
+ * cycle is microseconds of work, and queue+future traffic per cycle
+ * would dominate it. TickTeam instead keeps W-1 resident workers
+ * parked on an atomic round counter; the caller participates as
+ * worker 0, so `run(fn, count)` costs one release store plus one
+ * acquire wait per round, and a team of one thread degenerates to a
+ * plain inline loop with no atomics at all.
+ *
+ * Memory-ordering contract (what the simulator's bit-identity proof
+ * leans on): everything the caller wrote before run() happens-before
+ * the workers' chunk execution, and everything the workers wrote in
+ * their chunks happens-before run() returning. Both edges go through
+ * round_/arrived_ release/acquire pairs, so the serial-phase writes
+ * (memory-system commit) and the parallel-phase writes (per-SM state)
+ * never race even though neither takes a lock.
+ */
+
+#ifndef HSU_COMMON_TICKTEAM_HH
+#define HSU_COMMON_TICKTEAM_HH
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hsu
+{
+
+/** Resident barrier team; the constructing thread is worker 0. */
+class TickTeam
+{
+  public:
+    /** Work for one round: process items [begin, end). */
+    using ChunkFn = std::function<void(std::size_t begin,
+                                       std::size_t end)>;
+
+    /**
+     * @param num_threads total workers including the caller; values
+     *        < 2 build an empty team (run() executes inline).
+     */
+    explicit TickTeam(unsigned num_threads);
+
+    /** Releases the workers and joins them. */
+    ~TickTeam();
+
+    TickTeam(const TickTeam &) = delete;
+    TickTeam &operator=(const TickTeam &) = delete;
+
+    /**
+     * Partition [0, count) into contiguous per-worker chunks, run
+     * them concurrently, and return once every chunk finished. The
+     * caller runs its own chunk on this thread. An exception thrown
+     * by any chunk is rethrown here (first one wins), after the
+     * barrier — the team stays usable.
+     */
+    void run(const ChunkFn &fn, std::size_t count);
+
+    /** Total worker count including the calling thread. */
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+  private:
+    void workerLoop(std::size_t index);
+    void runChunk(const ChunkFn &fn, std::size_t count,
+                  std::size_t worker, std::size_t total);
+
+    std::atomic<std::uint64_t> round_{0};   //!< bumped to start a round
+    std::atomic<std::uint64_t> arrived_{0}; //!< lifetime chunk completions
+    std::atomic<bool> stop_{false};
+    const ChunkFn *fn_ = nullptr;   //!< valid for the current round only
+    std::size_t count_ = 0;
+    std::mutex errorMutex_;
+    std::exception_ptr error_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace hsu
+
+#endif // HSU_COMMON_TICKTEAM_HH

@@ -162,13 +162,17 @@ void
 Cache::tick(std::uint64_t now)
 {
     // Retire due completions.
+    bool fired = false;
     while (!ready_.empty() && ready_.top().ready <= now) {
         // The callback may access this cache again; pop first.
         MemCompletion done = std::move(
             const_cast<PendingDone &>(ready_.top()).done);
         ready_.pop();
         done();
+        fired = true;
     }
+    if (fired && completionObserver_)
+        completionObserver_();
     // Drain the miss/write queue downstream while accepted.
     while (!missQueue_.empty() && sendLower_ &&
            sendLower_(missQueue_.front().first, missQueue_.front().second,

@@ -83,6 +83,21 @@ class Cache
         sendLower_ = std::move(f);
     }
 
+    /**
+     * Observer invoked at most once per tick() after any completion
+     * callbacks fired. Every cross-boundary wake an SM can receive —
+     * LSU group done, store retire, HSU op done, RT-unit line arrival
+     * — is delivered through this cache's completion queue, so one
+     * observer per L1 lets the owning SM learn "my state changed this
+     * cycle" without enumerating the callback sites. Purely a
+     * host-side wake signal; no timing effect.
+     */
+    void
+    setCompletionObserver(std::function<void()> f)
+    {
+        completionObserver_ = std::move(f);
+    }
+
     /** True when no MSHR is pending and all queues are empty. */
     bool idle() const;
 
@@ -139,6 +154,7 @@ class Cache
     std::priority_queue<PendingDone, std::vector<PendingDone>,
                         std::greater<>> ready_;
     std::function<bool(std::uint64_t, bool, std::uint64_t)> sendLower_;
+    std::function<void()> completionObserver_;
     std::uint64_t seq_ = 0;
 
     Stat &statAccesses_;

@@ -97,6 +97,19 @@ class RtUnit
      */
     void fastForwardStats(Cycle now, Cycle next);
 
+    /**
+     * Skipped-gap counterpart of the tryDispatch reject counter: the
+     * SM's fast-forward calls this once per dispatch-blocked candidate
+     * with the gap length, matching the rejection the per-cycle loop
+     * would have recorded on each of those cycles (no free entry — a
+     * free entry would have made the dispatch an event).
+     */
+    void
+    accountSkippedDispatchRejects(double cycles)
+    {
+        statRejectNoEntry_ += cycles;
+    }
+
     /** Busy-cycle count so far (datapath issuing). */
     double busyCycles() const { return statBusyCycles_.value(); }
 

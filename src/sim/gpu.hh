@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/tickteam.hh"
 #include "mem/memsys.hh"
 #include "sim/config.hh"
 #include "sim/sm.hh"
@@ -57,13 +58,31 @@ struct RunResult
  * The simulated GPU. Construct once per kernel run (components carry
  * run-local state); stats accumulate into the caller's StatGroup.
  *
- * The run loop is event-skipping: after ticking a cycle it asks every
- * SM and the memory system for their next self-scheduled event and
- * fast-forwards the clock across provably-idle gaps (all warps stalled
- * on DRAM, no queued traffic). Results are cycle-for-cycle identical
- * to the naive loop; set HSU_NO_SKIP=1 to force the un-skipped loop,
- * which additionally asserts that every predicted gap really was
- * eventless. The cycles skipped are reported as "sim.ff_cycles".
+ * Two run loops, bit-identical by construction:
+ *
+ *  - Serial (simJobs == 1, the reference): each cycle ticks the memory
+ *    system then every SM, and fast-forwards the clock across
+ *    provably-idle gaps (all warps stalled on DRAM, no queued
+ *    traffic). HSU_NO_SKIP=1 forces the un-skipped loop, which
+ *    additionally asserts that every predicted gap really was
+ *    eventless. Skipped cycles are reported as "sim.ff_cycles".
+ *
+ *  - Event-horizon (simJobs > 1, HSU_SIM_JOBS): the memory system
+ *    still ticks serially (the canonical commit point; SM traffic is
+ *    staged in the private L1 miss queues and drained in SM-index
+ *    order), but each SM carries its own cached next-event cycle and
+ *    only ticks when it is due or a memory completion woke it. SM
+ *    ticks within a cycle run concurrently on a TickTeam. Per-SM
+ *    skipped cycles are reported as "sim.horizon_cycles", globally
+ *    skipped ones as "sim.ff_cycles"; only these two diagnostics may
+ *    differ between the loops — see DESIGN.md "Deterministic
+ *    intra-simulation parallelism" for the identity argument.
+ *
+ * Per-SM stats ("sm.*" / "lsu.*" / "rtu.*") accumulate in per-SM
+ * staging groups and merge into the caller's StatGroup in SM-index
+ * order when the run finishes; every increment is an exact small
+ * integer, so the merged totals equal the serial loop's shared-group
+ * accumulation bit for bit.
  */
 class Gpu
 {
@@ -88,13 +107,38 @@ class Gpu
     /** Global minimum next-event cycle across SMs + memory. */
     Cycle nextEventCycle(Cycle now) const;
 
+    /** Reference loop: tick everything every visited cycle. */
+    void runSerial(std::uint64_t &now, std::uint64_t max_cycles,
+                   bool skip);
+
+    /** Parallel per-SM loop with cached next-event values. */
+    void runHorizon(std::uint64_t &now, std::uint64_t max_cycles,
+                    unsigned workers);
+
+    /** Account SM @p i's skipped cycles, tick it, refresh its cache. */
+    void catchUpAndTick(unsigned i, Cycle now);
+
+    /** Fold the per-SM staging groups into stats_ (SM-index order). */
+    void mergeSmStats();
+
     [[noreturn]] void panicWedged(const char *why, std::uint64_t now);
 
     GpuConfig cfg_;
     StatGroup &stats_;
     std::unique_ptr<MemorySystem> mem_;
+    std::vector<std::unique_ptr<StatGroup>> smStats_;
     std::vector<std::unique_ptr<Sm>> sms_;
+    bool smStatsMerged_ = false;
+
+    // Event-horizon state (sized/used by runHorizon only).
+    std::vector<Cycle> smNextEvent_;   //!< cached per-SM next event
+    std::vector<Cycle> smLastTicked_;  //!< last cycle the SM ticked
+    std::vector<std::uint64_t> smSkipped_; //!< per-SM skipped cycles
+    std::vector<unsigned> activeSms_;  //!< scratch: SMs due this cycle
+    std::unique_ptr<TickTeam> team_;
+
     Stat &statFfCycles_;
+    Stat &statHorizonCycles_;
 };
 
 /** Convenience: simulate a kernel on a fresh GPU and return results. */

@@ -6,6 +6,13 @@
  * 128-byte line requests, queues them, and presents at most one request
  * per cycle to the L1D — time-sharing the single L1 port with the RT
  * unit's FIFO memory access queue (Section VI-H).
+ *
+ * Thread model: the LSU is owned by one SM and is only touched from
+ * that SM's tick (issue/tick) — its L1 traffic lands in the private
+ * L1's miss queue, which the memory system drains in SM-index order.
+ * Completion callbacks fire from Cache::tick during the serial memory
+ * phase. Nothing here is shared across SMs, so the parallel horizon
+ * loop needs no locks on this path.
  */
 
 #ifndef HSU_SIM_LSU_HH
@@ -54,6 +61,18 @@ class Lsu
 
     /** True when no request is queued (in-flight L1 side not counted). */
     bool drained() const { return queue_.empty(); }
+
+    /**
+     * Earliest future cycle tick() could act on its own: the queue
+     * wants the port every cycle while non-empty; an empty LSU is
+     * driven entirely by new issues and L1 completions. Part of the
+     * SM's cached next-event value (event-horizon skipping).
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        return queue_.empty() ? kNeverCycle : now + 1;
+    }
 
   private:
     struct Group

@@ -31,6 +31,12 @@ Sm::Sm(const GpuConfig &cfg, unsigned sm_id, Cache &l1, StatGroup &stats)
     subCores_.resize(cfg.subCoresPerSm);
     for (unsigned slot = 0; slot < cfg.maxWarpsPerSm; ++slot)
         subCores_[slot % cfg.subCoresPerSm].slots.push_back(slot);
+
+    // Every cross-boundary wake (LSU group done, store retire, HSU op
+    // done, RT line arrival) funnels through this L1's completion
+    // queue, so one observer invalidates the cached next-event value
+    // whenever the memory system touched this SM's state.
+    l1.setCompletionObserver([this] { wakePending_ = true; });
 }
 
 void
@@ -53,6 +59,7 @@ Sm::activatePending()
         pending_.pop_front();
         w.pc = 0;
         w.pendingTokens = 0;
+        w.clearedSinceTick = 0;
         w.beatsIssued = 0;
         w.outstanding = 0;
         w.blockEnd = 0;
@@ -112,8 +119,10 @@ Sm::tryIssue(unsigned slot, SubCore &sc, std::uint64_t now,
         const auto lines =
             coalesceLines(*w.trace, op, l1_.params().lineBytes);
         WarpCtx *wp = &w;
-        MemCompletion done = [wp, prod_mask]() {
+        MemCompletion done = [this, wp, prod_mask]() {
             wp->pendingTokens &= ~prod_mask;
+            wp->clearedSinceTick |= prod_mask;
+            anyCleared_ = true;
             --wp->outstanding;
         };
         if (!lsu_->issue(lines, false, std::move(done)))
@@ -141,8 +150,10 @@ Sm::tryIssue(unsigned slot, SubCore &sc, std::uint64_t now,
         hsu_assert(rt_ != nullptr,
                    "HSU op in trace but RT unit disabled");
         WarpCtx *wp = &w;
-        MemCompletion done = [wp, prod_mask]() {
+        MemCompletion done = [this, wp, prod_mask]() {
             wp->pendingTokens &= ~prod_mask;
+            wp->clearedSinceTick |= prod_mask;
+            anyCleared_ = true;
             --wp->outstanding;
         };
         if (!rt_->tryDispatch(sub_core_id, slot, *w.trace, op,
@@ -255,6 +266,14 @@ Sm::issueSubCore(SubCore &sc, std::uint64_t now)
 void
 Sm::tick(std::uint64_t now)
 {
+    wakePending_ = false;
+    if (anyCleared_) {
+        // Ticking consumes the catch-up token bookkeeping: from here
+        // on, skipped-gap accounting starts from the current state.
+        for (auto &w : warps_)
+            w.clearedSinceTick = 0;
+        anyCleared_ = false;
+    }
     // L1 port arbitration: the LSU and the RT unit's FIFO queue
     // time-share the single L1D access port, alternating priority.
     const bool rt_wants = rt_ && rt_->wantsAccess();
@@ -306,6 +325,30 @@ Sm::nextEventCycle(Cycle now) const
     return next;
 }
 
+Cycle
+Sm::nextEventAfterTick(Cycle now)
+{
+    if (probeHold_ > 0) {
+        // Dense phase: skip the scan, answer conservatively. Extra
+        // ticks of an eventless SM are no-ops, so this cannot change
+        // results — it only caps the probe cost where the scan would
+        // keep answering "next cycle" anyway.
+        --probeHold_;
+        return now + 1;
+    }
+    const Cycle next = nextEventCycle(now);
+    if (next == now + 1) {
+        if (cfg_.probeDenseStreak != 0 &&
+            ++denseStreak_ >= cfg_.probeDenseStreak) {
+            probeHold_ = cfg_.probeInterval;
+            denseStreak_ = 0;
+        }
+    } else {
+        denseStreak_ = 0;
+    }
+    return next;
+}
+
 namespace
 {
 
@@ -353,6 +396,27 @@ Sm::fastForwardStats(Cycle now, Cycle next)
         // every skipped cycle is a stall, attributed (as in
         // issueSubCore) to the first candidate tried that cycle.
         statStallCycles_ += gap;
+        // issueSubCore tries every candidate each cycle until one
+        // issues; in a gap none do, so each candidate whose tokens are
+        // clear re-attempts its HSU dispatch every skipped cycle and
+        // is rejected for lack of a free buffer entry (a free entry
+        // would have made the dispatch an event bounding the gap).
+        // The per-cycle loop counts each of those attempts; compensate
+        // them here. Gap-time token state is pendingTokens plus any
+        // bits completions cleared after the gap but before this call.
+        for (unsigned s = 0; s < count; ++s) {
+            const WarpCtx &w = warps_[order[s]];
+            const TraceOp &op = w.trace->ops[w.pc];
+            if (op.type != OpType::HsuOp)
+                continue;
+            const std::uint32_t prod =
+                op.produces != kNoToken ? (1u << op.produces) : 0u;
+            if ((op.consumesMask | prod) &
+                (w.pendingTokens | w.clearedSinceTick)) {
+                continue; // token-blocked: never reaches the dispatcher
+            }
+            rt_->accountSkippedDispatchRejects(gap);
+        }
         if (cfg_.scheduler == SchedulerPolicy::RoundRobin &&
             count > greedy_count + 1 && greedy_count == 0) {
             // The per-cycle rotation (shift = now % n) changes which

@@ -54,6 +54,25 @@ class Sm
     Cycle nextEventCycle(Cycle now) const;
 
     /**
+     * Cached-event-probe variant for the horizon loop: called once
+     * right after tick(now), it returns the SM's next self-event with
+     * a dense-phase backoff — after cfg.probeDenseStreak consecutive
+     * "next cycle" answers it stops re-scanning and answers now + 1
+     * unconditionally for cfg.probeInterval ticks. The backoff only
+     * ever under-estimates (extra ticks of an unchanged SM are
+     * no-ops), so results are unaffected; it bounds the scan cost in
+     * compute-dense phases where the answer is always "next cycle".
+     */
+    Cycle nextEventAfterTick(Cycle now);
+
+    /**
+     * True when a memory completion reached this SM since its last
+     * tick (set by the L1's completion observer), invalidating the
+     * cached next-event value. Cleared at the start of tick().
+     */
+    bool wakePending() const { return wakePending_; }
+
+    /**
      * Account per-cycle occupancy stats for the eventless gap
      * (now, next) exactly as the per-cycle loop would have: busy
      * sub-cores stay busy for the whole gap, stalled sub-cores stay
@@ -76,6 +95,15 @@ class Sm
         const WarpTrace *trace = nullptr;
         std::size_t pc = 0;
         std::uint32_t pendingTokens = 0;
+        /**
+         * Tokens cleared by completions since this SM last ticked.
+         * fastForwardStats needs the token state *during* a skipped
+         * gap; the horizon loop applies a wake cycle's completions
+         * before the catch-up call, so the gap-time mask is
+         * pendingTokens | clearedSinceTick. Zero whenever the SM is
+         * ticked every cycle (completions precede the tick).
+         */
+        std::uint32_t clearedSinceTick = 0;
         unsigned beatsIssued = 0;
         unsigned outstanding = 0;
         std::uint64_t order = 0;
@@ -113,6 +141,10 @@ class Sm
     std::deque<const WarpTrace *> pending_;
     std::uint64_t nextOrder_ = 0;
     std::size_t activeCount_ = 0;
+    bool wakePending_ = false;
+    bool anyCleared_ = false;  //!< some warp has clearedSinceTick bits
+    unsigned denseStreak_ = 0; //!< consecutive "event next cycle" probes
+    unsigned probeHold_ = 0;   //!< remaining ticks answering now+1 blind
 
     Stat &statSlotCycles_;
     Stat &statBusyCycles_;

@@ -24,6 +24,7 @@
 #include "rtunit/rtunit.hh"
 #include "search/ggnn.hh"
 #include "search/runner.hh"
+#include "sim/gpu.hh"
 #include "structures/graph.hh"
 
 #include "../test_util.hh"
@@ -142,6 +143,10 @@ forceLinkage()
         HnswGraph::build(pts, Metric::Euclidean); // graph.cc
     const GgnnKernel kernel(g, GgnnConfig{});     // ggnn.cc
     (void)kernel;
+    GpuConfig cfg;                               // gpu.cc
+    cfg.numSms = 1;
+    StatGroup gpu_stats;
+    (void)simulateKernel(cfg, KernelTrace{}, gpu_stats);
 }
 
 TEST(AuditRegistry, KnownSourcesAreRegistered)
@@ -154,6 +159,7 @@ TEST(AuditRegistry, KnownSourcesAreRegistered)
         "ggnn.cc:visited",
         "graph.cc:visited",
         "runner.cc:runJobsParallel",
+        "gpu.cc:mergeSmStats",
     };
     for (const char *site : expected)
         EXPECT_TRUE(audit::hasSource(site)) << site;

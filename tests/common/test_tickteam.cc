@@ -1,0 +1,100 @@
+/**
+ * @file
+ * TickTeam barrier semantics: chunk coverage, cross-round visibility,
+ * inline degeneration, and exception propagation. The simulator clamps
+ * its team to the hardware concurrency, so this test pins the threaded
+ * path even on machines where the horizon loop runs inline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/tickteam.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(TickTeam, CoversEveryIndexExactlyOnce)
+{
+    TickTeam team(4);
+    EXPECT_EQ(team.numThreads(), 4u);
+    std::vector<std::atomic<int>> hits(37);
+    team.run([&hits](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    }, hits.size());
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TickTeam, RoundsAreOrderedAndWritesVisible)
+{
+    // Worker writes from round N must be readable by every thread in
+    // round N+1 without extra synchronization (the run() barrier is
+    // the only fence the simulator uses between phases).
+    TickTeam team(3);
+    std::vector<std::uint64_t> cells(16, 0);
+    for (int round = 0; round < 200; ++round) {
+        team.run([&cells, round](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) {
+                EXPECT_EQ(cells[i], static_cast<std::uint64_t>(round));
+                ++cells[i];
+            }
+        }, cells.size());
+    }
+    for (const auto c : cells)
+        EXPECT_EQ(c, 200u);
+}
+
+TEST(TickTeam, SmallCountsLeaveWorkersIdle)
+{
+    // count < threads: trailing chunks are empty, nothing deadlocks.
+    TickTeam team(4);
+    std::vector<std::atomic<int>> hits(2);
+    team.run([&hits](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i)
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+    }, hits.size());
+    EXPECT_EQ(hits[0].load(), 1);
+    EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(TickTeam, SingleThreadRunsInline)
+{
+    TickTeam team(1);
+    EXPECT_EQ(team.numThreads(), 1u);
+    int calls = 0;
+    team.run([&calls](std::size_t b, std::size_t e) {
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 5u);
+        ++calls;
+    }, 5);
+    EXPECT_EQ(calls, 1);
+    team.run([](std::size_t, std::size_t) { FAIL(); }, 0);
+}
+
+TEST(TickTeam, ExceptionsPropagateAndTeamSurvives)
+{
+    TickTeam team(4);
+    EXPECT_THROW(
+        team.run([](std::size_t b, std::size_t) {
+            if (b == 0)
+                throw std::runtime_error("chunk failed");
+        }, 8),
+        std::runtime_error);
+    // The team must still run later rounds.
+    std::atomic<int> total{0};
+    team.run([&total](std::size_t b, std::size_t e) {
+        total.fetch_add(static_cast<int>(e - b),
+                        std::memory_order_relaxed);
+    }, 8);
+    EXPECT_EQ(total.load(), 8);
+}
+
+} // namespace
+} // namespace hsu

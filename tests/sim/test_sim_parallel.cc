@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Intra-simulation parallelism bit-identity: the event-horizon loop
+ * (simJobs > 1) must be a pure scheduling change. Every golden
+ * workload and synthetic trace produces the same RunResult and the
+ * same full StatGroup dump across HSU_SIM_JOBS levels, with and
+ * without the per-SM event cache, and against the single-stepped
+ * no-skip reference. Only the skip diagnostics ("sim.ff_cycles",
+ * "sim.horizon_cycles") may differ between loop flavors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "search/runner.hh"
+#include "sim/gpu.hh"
+
+namespace hsu
+{
+namespace
+{
+
+void
+expectSameDump(const StatGroup &a, const StatGroup &b)
+{
+    const auto da = a.dump();
+    const auto db = b.dump();
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t i = 0; i < da.size(); ++i) {
+        ASSERT_EQ(da[i].first, db[i].first);
+        // The only mode-dependent counters: how many cycles each loop
+        // flavor skipped, globally vs per SM.
+        if (da[i].first == "sim.ff_cycles" ||
+            da[i].first == "sim.horizon_cycles") {
+            continue;
+        }
+        EXPECT_EQ(da[i].second, db[i].second) << da[i].first;
+    }
+}
+
+void
+expectSameResult(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instrsIssued, b.instrsIssued);
+    EXPECT_EQ(a.hsuCompleted, b.hsuCompleted);
+    EXPECT_EQ(a.l2LinesAccessed, b.l2LinesAccessed);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.dramRowLocality, b.dramRowLocality);
+    EXPECT_EQ(a.offloadableFraction, b.offloadableFraction);
+}
+
+KernelTrace
+mixedTrace(unsigned warps, std::uint64_t seed)
+{
+    Rng rng(seed);
+    KernelTrace kt;
+    for (unsigned w = 0; w < warps; ++w) {
+        kt.warps.emplace_back();
+        TraceBuilder tb(kt.warps.back());
+        for (int i = 0; i < 30; ++i) {
+            const auto roll = rng.nextBounded(4);
+            if (roll == 0) {
+                tb.alu(1 + static_cast<unsigned>(rng.nextBounded(8)));
+            } else if (roll == 1) {
+                tb.shared(1 + static_cast<unsigned>(rng.nextBounded(4)));
+            } else if (roll == 2) {
+                const auto tok = tb.loadPattern(
+                    0x100000 + rng.nextBounded(1 << 20) * 64, 4, 4);
+                tb.alu(2, kFullMask, TraceBuilder::tokenMask(tok));
+            } else {
+                std::uint64_t addrs[kWarpSize];
+                for (unsigned l = 0; l < kWarpSize; ++l) {
+                    addrs[l] =
+                        0x800000 + rng.nextBounded(1 << 18) * 128;
+                }
+                const auto tok =
+                    tb.hsuOp(HsuOpcode::PointEuclid, HsuMode::Euclid,
+                             addrs, 64,
+                             1 + static_cast<unsigned>(
+                                 rng.nextBounded(4)),
+                             0xffffu);
+                tb.alu(1, kFullMask, TraceBuilder::tokenMask(tok));
+            }
+        }
+    }
+    return kt;
+}
+
+KernelTrace
+loadStallTrace(unsigned warps, std::uint64_t seed)
+{
+    // Load -> dependent ALU per warp: long DRAM stalls that give the
+    // per-SM skipper real gaps to jump, with mixed offloadable flags
+    // so stall attribution is order-sensitive.
+    Rng rng(seed);
+    KernelTrace kt;
+    for (unsigned w = 0; w < warps; ++w) {
+        kt.warps.emplace_back();
+        TraceBuilder tb(kt.warps.back());
+        for (unsigned i = 0; i < 12; ++i) {
+            const auto tok = tb.loadPattern(
+                0x100000 + rng.nextBounded(1 << 20) * 64, 4, 4);
+            tb.alu(1 + (w % 3), kFullMask,
+                   TraceBuilder::tokenMask(tok), (w + i) % 2 == 0);
+        }
+    }
+    return kt;
+}
+
+TEST(SimParallel, GoldenWorkloadsBitIdenticalAcrossSimJobs)
+{
+    // Every golden workload, Baseline + Hsu runs: identical RunResult
+    // and full stat dump at simJobs 1 (serial reference), 2, and 8.
+    GpuConfig gpu;
+    gpu.numSms = 2;
+    gpu.finalize();
+    RunnerOptions tiny;
+    tiny.ggnnQueries = 32;
+    tiny.pointQueries = 64;
+    tiny.keyQueries = 64;
+
+    for (const auto &[algo, id] :
+         {std::pair{Algo::Btree, DatasetId::BTree10k},
+          std::pair{Algo::Bvhnn, DatasetId::Random10k},
+          std::pair{Algo::Flann, DatasetId::Bunny},
+          std::pair{Algo::Ggnn, DatasetId::Sift10k}}) {
+        GpuConfig serial = gpu;
+        serial.simJobs = 1;
+        const WorkloadResult ref =
+            runWorkload(algo, id, serial, tiny);
+        for (const unsigned jobs : {2u, 8u}) {
+            GpuConfig par = gpu;
+            par.simJobs = jobs;
+            const WorkloadResult got =
+                runWorkload(algo, id, par, tiny);
+            SCOPED_TRACE(got.label + " jobs=" + std::to_string(jobs));
+            expectSameResult(ref.base, got.base);
+            expectSameResult(ref.hsu, got.hsu);
+            expectSameDump(ref.baseStats, got.baseStats);
+            expectSameDump(ref.hsuStats, got.hsuStats);
+        }
+    }
+}
+
+TEST(SimParallel, ParallelSkipMatchesSerialNoSkip)
+{
+    // The strongest cross-check: the horizon loop with all skipping
+    // machinery on vs the single-stepped reference that ticks every
+    // cycle and asserts every predicted gap really was eventless.
+    for (const auto policy :
+         {SchedulerPolicy::Gto, SchedulerPolicy::RoundRobin}) {
+        for (const bool stally : {false, true}) {
+            const KernelTrace trace = stally ? loadStallTrace(16, 47)
+                                             : mixedTrace(24, 47);
+            GpuConfig par;
+            par.numSms = 4;
+            par.scheduler = policy;
+            par.simJobs = 8;
+            par.finalize();
+            GpuConfig ref = par;
+            ref.simJobs = 1;
+            ref.noSkip = 1;
+
+            StatGroup par_stats, ref_stats;
+            const RunResult p = simulateKernel(par, trace, par_stats);
+            const RunResult r = simulateKernel(ref, trace, ref_stats);
+            SCOPED_TRACE(stally ? "loadStallTrace" : "mixedTrace");
+            expectSameResult(p, r);
+            expectSameDump(par_stats, ref_stats);
+            EXPECT_EQ(ref_stats.get("sim.ff_cycles"), 0.0);
+            EXPECT_EQ(ref_stats.get("sim.horizon_cycles"), 0.0);
+            if (stally) {
+                // The per-SM skipper must actually skip on this trace.
+                EXPECT_GT(par_stats.get("sim.horizon_cycles"), 0.0);
+            }
+        }
+    }
+}
+
+TEST(SimParallel, EventCacheDisabledBitIdentical)
+{
+    // eventCache=false degenerates the horizon loop to full per-cycle
+    // lockstep (the A/B baseline for the cache): still identical.
+    const KernelTrace trace = mixedTrace(24, 53);
+    GpuConfig serial;
+    serial.numSms = 4;
+    serial.simJobs = 1;
+    serial.finalize();
+    GpuConfig par = serial;
+    par.simJobs = 8;
+    par.eventCache = false;
+
+    StatGroup s1, s2;
+    const RunResult r1 = simulateKernel(serial, trace, s1);
+    const RunResult r2 = simulateKernel(par, trace, s2);
+    expectSameResult(r1, r2);
+    expectSameDump(s1, s2);
+    // With the cache off every SM ticks every visited cycle.
+    EXPECT_EQ(s2.get("sim.horizon_cycles"), 0.0);
+}
+
+TEST(SimParallel, SingleSmHorizonMatchesSerial)
+{
+    // Degenerate shape: one SM, many requested jobs. The horizon loop
+    // must collapse cleanly (no team, pure per-SM skipping).
+    const KernelTrace trace = loadStallTrace(8, 59);
+    GpuConfig serial;
+    serial.numSms = 1;
+    serial.simJobs = 1;
+    serial.finalize();
+    GpuConfig par = serial;
+    par.simJobs = 8;
+
+    StatGroup s1, s2;
+    const RunResult r1 = simulateKernel(serial, trace, s1);
+    const RunResult r2 = simulateKernel(par, trace, s2);
+    expectSameResult(r1, r2);
+    expectSameDump(s1, s2);
+}
+
+} // namespace
+} // namespace hsu
