@@ -12,13 +12,13 @@
  * allowance (or on any bit-identity mismatch, as always).
  */
 
-#include <cstring>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hh"
+#include "common/argparse.hh"
 #include "workloads/datasets.hh"
 
 using namespace hsu;
@@ -114,15 +114,17 @@ simSecondsNow()
 int
 main(int argc, char **argv)
 {
+    ArgParser args("perf_sim",
+                   "intra-simulation parallelism sweep over "
+                   "HSU_SIM_JOBS levels, with bit-identity checks");
     bool smoke = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0) {
-            smoke = true;
-        } else {
-            std::cerr << "usage: perf_sim [--smoke]\n";
-            return 2;
-        }
-    }
+    bool quick = false;
+    args.flag(smoke, "smoke",
+              "CI gate: one quick workload at jobs in {1, 8}");
+    args.envFlag(quick, "quick", "HSU_QUICK",
+                 "shrink per-workload query counts ~4x");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
 
     const std::vector<unsigned> levels =
         smoke ? std::vector<unsigned>{1, 8}

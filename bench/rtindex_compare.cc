@@ -10,14 +10,26 @@
 #include <memory>
 
 #include "bench_common.hh"
+#include "common/argparse.hh"
 #include "search/rtindex.hh"
 #include "workloads/datasets.hh"
 
 using namespace hsu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("rtindex_compare",
+                   "RTIndeX keys-as-triangles vs native HSU keys");
+    bool quick = false;
+    unsigned num_jobs = 0;
+    args.envFlag(quick, "quick", "HSU_QUICK",
+                 "shrink the probe count ~4x");
+    args.envOpt(num_jobs, "jobs", "HSU_JOBS",
+                "worker threads for the variant simulations");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
+
     // Scaled key store + lookups (paper: 163,840 lookups).
     const auto &info = datasetInfo(DatasetId::BTree1m);
     auto keys = generateKeys(info);

@@ -123,4 +123,30 @@ Rng::split()
     return Rng(next());
 }
 
+namespace
+{
+
+[[maybe_unused]] HSU_AUDIT_NONDET_SOURCE(
+    kDeriveSeedAudit, audit::NondetKind::Rng, "rng.cc:deriveSeed",
+    "pure stateless function of (root, stream); both inputs pass a "
+    "full splitmix64 avalanche so child families of adjacent roots "
+    "never alias (no seed+i collisions); values pinned by "
+    "tests/common/test_rng.cc");
+
+} // namespace
+
+std::uint64_t
+deriveSeed(std::uint64_t root, std::uint64_t stream)
+{
+    // Mix the root to full avalanche first, then fold in a decorrelated
+    // stream index and mix again. Simply seeding from root + stream
+    // would make (r, i) and (r+1, i-1) collide exactly.
+    std::uint64_t sm = root;
+    const std::uint64_t mixed_root = splitmix64(sm);
+    std::uint64_t sm2 =
+        mixed_root ^
+        (0x9e3779b97f4a7c15ULL * (stream ^ 0xd1b54a32d192ed03ULL));
+    return splitmix64(sm2);
+}
+
 } // namespace hsu

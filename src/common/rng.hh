@@ -66,6 +66,20 @@ class Rng
     float spare_ = 0.0f;
 };
 
+/**
+ * Derive the seed of child stream @p stream from @p root.
+ *
+ * A pure, stateless function: both inputs pass through full splitmix64
+ * avalanche rounds, so unlike the naive `root + stream` scheme the
+ * child families of adjacent roots are not shifted copies of each
+ * other (seed r, stream i and seed r+1, stream i-1 never alias). The
+ * sharded serving layer derives every per-shard/per-replica stream
+ * seed through this function from one experiment root seed; the
+ * scheme is registered in the hsu::audit nondeterminism registry as
+ * "rng.cc:deriveSeed" and pinned by tests/common/test_rng.cc.
+ */
+std::uint64_t deriveSeed(std::uint64_t root, std::uint64_t stream);
+
 } // namespace hsu
 
 #endif // HSU_COMMON_RNG_HH

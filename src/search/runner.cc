@@ -21,6 +21,7 @@
 #include "analysis/trace_lint.hh"
 #include "common/audit.hh"
 #include "common/logging.hh"
+#include "common/memo.hh"
 #include "common/phase_timer.hh"
 #include "common/threadpool.hh"
 #include "search/btree_kernel.hh"
@@ -297,15 +298,11 @@ namespace
 
 /**
  * Memoized per-dataset index assets (expensive to build, immutable
- * once built, safe to share across simulation threads). Queries are
+ * once built, safe to share across simulation threads), keyed through
+ * the shared build-once cache (common/memo.hh). Queries are
  * NOT cached: they depend on the per-call RunnerOptions, so each trace
  * emission regenerates them — a pure, cheap function of the dataset
  * seed, which keeps results independent of job order and thread count.
- *
- * Concurrency: a global mutex guards each cache map; the heavy build
- * runs outside it under the slot's once_flag, so two threads wanting
- * different datasets build concurrently while two wanting the same
- * dataset build exactly once.
  */
 struct GgnnAssets
 {
@@ -329,32 +326,6 @@ struct KeyAssets
     std::unique_ptr<BTree> tree;
     std::unique_ptr<BtreeKernel> kernel;
 };
-
-template <typename Assets>
-struct AssetSlot
-{
-    std::once_flag once;
-    Assets assets;
-};
-
-template <typename Assets, typename Key, typename Build>
-const Assets &
-cachedAssets(const Key &key, Build build)
-{
-    static std::mutex mutex;
-    static std::map<Key, std::unique_ptr<AssetSlot<Assets>>> cache;
-
-    AssetSlot<Assets> *slot;
-    {
-        std::lock_guard lock(mutex);
-        auto &entry = cache[key];
-        if (!entry)
-            entry = std::make_unique<AssetSlot<Assets>>();
-        slot = entry.get(); // slots are pinned; the map may rehash
-    }
-    std::call_once(slot->once, [&] { build(slot->assets); });
-    return slot->assets;
-}
 
 /**
  * Persistent index cache (the build-once/query-many split of RTNN /
@@ -505,6 +476,29 @@ servePool(DatasetId id, std::size_t pool_size)
             p.points = generateQueries(info, pool_size);
     });
 }
+
+} // namespace
+
+const PointSet &
+serveQueryPoints(DatasetId dataset, std::size_t pool_size)
+{
+    const ServePool &pool = servePool(dataset, pool_size);
+    hsu_assert(datasetInfo(dataset).kind != DatasetKind::Keys,
+               "serveQueryPoints on a Keys dataset");
+    return pool.points;
+}
+
+const std::vector<std::uint32_t> &
+serveQueryKeys(DatasetId dataset, std::size_t pool_size)
+{
+    const ServePool &pool = servePool(dataset, pool_size);
+    hsu_assert(datasetInfo(dataset).kind == DatasetKind::Keys,
+               "serveQueryKeys on a non-Keys dataset");
+    return pool.keys;
+}
+
+namespace
+{
 
 /**
  * Debug-build emission hook: every kernel's semantic trace runs the

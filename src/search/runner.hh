@@ -252,6 +252,21 @@ emitBatchTrace(Algo algo, DatasetId dataset, KernelVariant variant,
                std::size_t pool_size,
                const ServeKnobs &knobs = ServeKnobs{});
 
+/**
+ * Read-only access to the deterministic serving query pool that
+ * emitBatchTrace() resolves request query-ids against — the sharded
+ * serving layer routes and answers against the same pool, so router
+ * pruning, shard answers, and batch emission all see identical query
+ * payloads. Built once per (dataset, pool size) and cached.
+ * @pre the dataset kind is HighDim/Point3d.
+ */
+const PointSet &serveQueryPoints(DatasetId dataset,
+                                 std::size_t pool_size);
+
+/** Keys-dataset flavor of serveQueryPoints(). @pre kind is Keys. */
+const std::vector<std::uint32_t> &
+serveQueryKeys(DatasetId dataset, std::size_t pool_size);
+
 /** Datasets an algorithm is evaluated on (Table II usage). */
 std::vector<DatasetId> datasetsForAlgo(Algo algo);
 

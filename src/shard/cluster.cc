@@ -1,0 +1,385 @@
+#include "shard/cluster.hh"
+
+#include <algorithm>
+#include <deque>
+#include <future>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/threadpool.hh"
+#include "serve/batcher.hh"
+#include "shard/shard_index.hh"
+#include "sim/gpu.hh"
+
+namespace hsu::shard
+{
+
+namespace
+{
+
+/** One (shard, replica) lane: a batcher plus one simulated GPU. */
+struct Lane
+{
+    unsigned shard = 0;
+    serve::DynamicBatcher batcher;
+    bool busy = false;
+    bool resolved = false; //!< completion cycle known
+    Cycle dispatchCycle = 0;
+    Cycle readyCycle = 0; //!< valid when resolved
+    std::future<std::uint64_t> pendingCycles;
+    std::vector<serve::Request> batch;
+    bool degradedBatch = false;
+
+    explicit Lane(const serve::BatchPolicy &policy) : batcher(policy) {}
+
+    /** Queued plus in-flight sub-queries (the LeastOutstanding load
+     *  signal). */
+    std::size_t
+    outstanding() const
+    {
+        return batcher.pending() + (busy ? batch.size() : 0);
+    }
+};
+
+/** A sub-query crossing the scatter link, due at deliverCycle. */
+struct ScatterMsg
+{
+    Cycle deliverCycle = 0;
+    std::size_t lane = 0;
+    serve::Request req;
+};
+
+/** Router-side join state of one in-flight request. */
+struct Join
+{
+    Cycle arrivalCycle = 0;
+    std::uint32_t remaining = 0; //!< sub-queries not yet resolved
+    std::uint32_t served = 0;
+    std::uint32_t shed = 0;
+    Cycle readyMax = 0; //!< latest gathered sub-answer
+};
+
+} // namespace
+
+std::string
+toString(LoadBalance policy)
+{
+    switch (policy) {
+      case LoadBalance::RoundRobin:
+        return "round-robin";
+      case LoadBalance::LeastOutstanding:
+        return "least-outstanding";
+    }
+    hsu_panic("unknown load-balance policy");
+}
+
+ClusterServer::ClusterServer(Algo algo, DatasetId dataset,
+                             const ClusterConfig &cfg)
+    : algo_(algo), dataset_(dataset), cfg_(cfg)
+{
+    if (cfg_.numShards == 0)
+        hsu_fatal("cluster needs at least one shard");
+    if (cfg_.replicasPerShard == 0)
+        hsu_fatal("cluster needs at least one replica per shard");
+    if (cfg_.queryPoolSize == 0)
+        hsu_fatal("cluster needs a non-empty query pool");
+    if (cfg_.degrade.shedWater == 0)
+        hsu_fatal("shedWater 0 would shed every sub-query");
+}
+
+ClusterReport
+ClusterServer::run(const std::vector<serve::Request> &requests)
+{
+    const KernelVariant variant = cfg_.gpu.rtUnitEnabled
+                                      ? KernelVariant::Hsu
+                                      : KernelVariant::Baseline;
+    const Partitioning &part = cachedPartitioning(
+        dataset_, cfg_.partition, cfg_.numShards);
+    const Cycle scatterHop = cfg_.link.hopCycles(cfg_.scatterBytes);
+    const Cycle gatherHop = cfg_.link.hopCycles(cfg_.gatherBytes);
+
+    ThreadPool pool(cfg_.jobs);
+    std::vector<Lane> lanes;
+    lanes.reserve(static_cast<std::size_t>(cfg_.numShards) *
+                  cfg_.replicasPerShard);
+    for (unsigned s = 0; s < cfg_.numShards; ++s) {
+        for (unsigned r = 0; r < cfg_.replicasPerShard; ++r) {
+            lanes.emplace_back(cfg_.batch);
+            lanes.back().shard = s;
+        }
+    }
+    std::vector<std::size_t> rrNext(cfg_.numShards, 0);
+
+    ClusterReport report;
+    report.offered = requests.size();
+    report.shards.resize(cfg_.numShards);
+
+    std::deque<ScatterMsg> scatter;
+    std::map<std::uint64_t, Join> inflight;
+    std::size_t nextArrival = 0;
+    Cycle now = 0;
+
+    auto any_busy = [&] {
+        return std::any_of(lanes.begin(), lanes.end(),
+                           [](const Lane &l) { return l.busy; });
+    };
+    auto any_pending = [&] {
+        return std::any_of(lanes.begin(), lanes.end(),
+                           [](const Lane &l) {
+                               return l.batcher.pending() > 0;
+                           });
+    };
+
+    // Resolve one request's join once its last sub-query lands. The
+    // merge is charged per contributing shard answer; a request whose
+    // every sub-query was shed never produced an answer.
+    auto finalize = [&](const Join &join) {
+        if (join.served == 0) {
+            report.shedRequests += 1;
+            return;
+        }
+        const Cycle done =
+            join.readyMax +
+            cfg_.mergeCyclesPerShard * static_cast<Cycle>(join.served);
+        report.completed += 1;
+        if (join.shed > 0)
+            report.partialAnswers += 1;
+        report.latencyCycles.add(
+            static_cast<double>(done - join.arrivalCycle));
+        report.lastCompletionCycle =
+            std::max(report.lastCompletionCycle, done);
+    };
+
+    auto subquery_resolved = [&](std::uint64_t id, bool served,
+                                 Cycle ready) {
+        const auto it = inflight.find(id);
+        hsu_assert(it != inflight.end(),
+                   "sub-query resolved for unknown request ", id);
+        Join &join = it->second;
+        hsu_assert(join.remaining > 0, "join over-resolved");
+        join.remaining -= 1;
+        if (served) {
+            join.served += 1;
+            join.readyMax = std::max(join.readyMax, ready);
+        } else {
+            join.shed += 1;
+        }
+        if (join.remaining == 0) {
+            finalize(join);
+            inflight.erase(it);
+        }
+    };
+
+    // Submit one shard batch simulation to the worker pool — a pure
+    // function of (shard key, batch contents, knobs, config), so the
+    // cycle count is identical no matter which worker runs it.
+    auto dispatch = [&](Lane &lane, std::vector<serve::Request> batch,
+                        bool degraded) {
+        std::vector<std::uint32_t> ids;
+        ids.reserve(batch.size());
+        for (const serve::Request &r : batch)
+            ids.push_back(r.queryId);
+        const ServeKnobs knobs =
+            degraded ? cfg_.degrade.degradedKnobs : ServeKnobs{};
+        const ShardKey key{dataset_, cfg_.partition, cfg_.numShards,
+                           lane.shard};
+        const GpuConfig gpu = cfg_.gpu;
+        const Algo algo = algo_;
+        const std::uint32_t pool_size = cfg_.queryPoolSize;
+        lane.pendingCycles = pool.submit(
+            [gpu, algo, key, variant, ids, pool_size, knobs]() {
+                const std::shared_ptr<const KernelTrace> trace =
+                    emitShardBatchTrace(algo, key, variant,
+                                        gpu.datapath, ids, pool_size,
+                                        knobs);
+                StatGroup stats;
+                return simulateKernel(gpu, trace, stats).cycles;
+            });
+        lane.busy = true;
+        lane.resolved = false;
+        lane.dispatchCycle = now;
+        lane.batch = std::move(batch);
+        lane.degradedBatch = degraded;
+    };
+
+    // Fill every idle lane that has a ready batch. All sims dispatched
+    // here are submitted before anything blocks on them, so
+    // concurrently-busy lanes really simulate concurrently.
+    auto dispatch_ready = [&] {
+        for (Lane &lane : lanes) {
+            if (lane.busy || !lane.batcher.batchReady(now))
+                continue;
+            ShardReport &shard = report.shards[lane.shard];
+            const bool degraded =
+                lane.batcher.pending() >= cfg_.degrade.highWater;
+            std::vector<serve::Request> expired;
+            std::vector<serve::Request> batch =
+                lane.batcher.popBatch(now, expired);
+            shard.shedExpired += expired.size();
+            for (const serve::Request &r : expired)
+                subquery_resolved(r.id, false, 0);
+            if (batch.empty())
+                continue; // everything pending had expired
+            shard.batches += 1;
+            report.batchSize.add(static_cast<double>(batch.size()));
+            if (degraded)
+                shard.degraded += batch.size();
+            for (const serve::Request &r : batch) {
+                shard.queueWaitCycles.add(
+                    static_cast<double>(now - r.arrivalCycle));
+            }
+            dispatch(lane, std::move(batch), degraded);
+        }
+    };
+
+    // Resolve in-flight completion times, in lane order: blocking on
+    // the first future lets the rest keep running in the pool.
+    auto resolve_busy = [&] {
+        for (Lane &lane : lanes) {
+            if (!lane.busy || lane.resolved)
+                continue;
+            const std::uint64_t kernel_cycles =
+                lane.pendingCycles.get();
+            lane.readyCycle = lane.dispatchCycle +
+                              cfg_.launchOverheadCycles +
+                              kernel_cycles;
+            lane.resolved = true;
+        }
+    };
+
+    // Deliver one sub-query to its lane, shedding when the lane's
+    // queue is at the watermark (the single server's admission check,
+    // applied per shard replica).
+    auto deliver = [&](const ScatterMsg &msg) {
+        Lane &lane = lanes[msg.lane];
+        report.shards[lane.shard].subqueries += 1;
+        if (lane.batcher.pending() >= cfg_.degrade.shedWater) {
+            report.shards[lane.shard].shedAdmission += 1;
+            subquery_resolved(msg.req.id, false, 0);
+            return;
+        }
+        serve::Request sub = msg.req;
+        sub.arrivalCycle = msg.deliverCycle;
+        lane.batcher.push(sub);
+    };
+
+    while (nextArrival < requests.size() || !scatter.empty() ||
+           any_pending() || any_busy()) {
+        dispatch_ready();
+        resolve_busy();
+
+        if (nextArrival >= requests.size() && scatter.empty() &&
+            !any_pending() && !any_busy()) {
+            break;
+        }
+
+        // Next event: an arrival, a scatter delivery, a batch
+        // completion, or an idle lane's age trigger.
+        Cycle next = kNeverCycle;
+        if (nextArrival < requests.size())
+            next = std::min(next, requests[nextArrival].arrivalCycle);
+        if (!scatter.empty())
+            next = std::min(next, scatter.front().deliverCycle);
+        for (const Lane &lane : lanes) {
+            if (lane.busy)
+                next = std::min(next, lane.readyCycle);
+            else
+                next = std::min(next, lane.batcher.nextForceCycle());
+        }
+        hsu_assert(next != kNeverCycle, "cluster wedged at cycle ",
+                   now);
+        now = std::max(now, next);
+
+        // Completions first (frees lanes and bounds queues), in lane
+        // order for a deterministic join/histogram fill. Each
+        // sub-answer crosses the gather hop before it can merge.
+        for (Lane &lane : lanes) {
+            if (!lane.busy || lane.readyCycle > now)
+                continue;
+            for (const serve::Request &r : lane.batch) {
+                subquery_resolved(r.id, true,
+                                  lane.readyCycle + gatherHop);
+            }
+            lane.busy = false;
+            lane.batch.clear();
+        }
+
+        // Scatter messages that have crossed the link by now, in send
+        // (FIFO) order.
+        while (!scatter.empty() &&
+               scatter.front().deliverCycle <= now) {
+            deliver(scatter.front());
+            scatter.pop_front();
+        }
+
+        // Then admissions up to the current cycle: route, pick a
+        // replica per target shard, and put the sub-queries on the
+        // wire (zero-latency links deliver inline, preserving the
+        // single-server admission order).
+        while (nextArrival < requests.size() &&
+               requests[nextArrival].arrivalCycle <= now) {
+            const serve::Request &req = requests[nextArrival++];
+            hsu_assert(req.queryId < cfg_.queryPoolSize,
+                       "request query id outside the serving pool");
+            const std::vector<std::uint32_t> targets = routeQuery(
+                algo_, part, req.queryId, cfg_.queryPoolSize);
+            report.fanout.add(static_cast<double>(targets.size()));
+            report.subqueries += targets.size();
+            if (targets.empty()) {
+                // Provably-empty answer (key in no shard's range /
+                // radius reaching no shard): answered at the router.
+                report.completed += 1;
+                report.latencyCycles.add(0.0);
+                report.lastCompletionCycle = std::max(
+                    report.lastCompletionCycle, req.arrivalCycle);
+                continue;
+            }
+            Join join;
+            join.arrivalCycle = req.arrivalCycle;
+            join.remaining =
+                static_cast<std::uint32_t>(targets.size());
+            const auto [it, fresh] = inflight.emplace(req.id, join);
+            hsu_assert(fresh, "duplicate request id ", req.id);
+            (void)it;
+            for (const std::uint32_t s : targets) {
+                std::size_t lane_idx =
+                    static_cast<std::size_t>(s) *
+                    cfg_.replicasPerShard;
+                if (cfg_.balance == LoadBalance::RoundRobin) {
+                    lane_idx += rrNext[s];
+                    rrNext[s] =
+                        (rrNext[s] + 1) % cfg_.replicasPerShard;
+                } else {
+                    std::size_t best = 0;
+                    for (std::size_t r = 1; r < cfg_.replicasPerShard;
+                         ++r) {
+                        if (lanes[lane_idx + r].outstanding() <
+                            lanes[lane_idx + best].outstanding()) {
+                            best = r;
+                        }
+                    }
+                    lane_idx += best;
+                }
+                const ScatterMsg msg{req.arrivalCycle + scatterHop,
+                                     lane_idx, req};
+                if (msg.deliverCycle <= now)
+                    deliver(msg);
+                else
+                    scatter.push_back(msg);
+            }
+        }
+    }
+
+    hsu_assert(inflight.empty(), "requests left unresolved");
+    hsu_assert(report.completed + report.shedRequests ==
+                   report.offered,
+               "request accounting does not balance");
+
+    // Cluster-level queue-wait percentiles: log-bucket-aligned merge
+    // of the per-shard histograms (common/stats Histogram::merge).
+    for (const ShardReport &shard : report.shards)
+        report.queueWaitCycles.merge(shard.queueWaitCycles);
+    return report;
+}
+
+} // namespace hsu::shard

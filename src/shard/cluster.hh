@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Sharded multi-GPU serving cluster on the unified simulated clock.
+ *
+ * A ClusterServer extends the single-instance server (serve/server) to
+ * N index shards x R replicas per shard. One router receives the
+ * open-loop request stream, fans each request out to the shards its
+ * query can touch (shard/shard_index routeQuery: broadcast for kNN,
+ * range-pruned for radius queries, single-owner for key lookups),
+ * picks a replica per sub-query under a load-balancing policy, and
+ * joins the partial answers with a deterministic top-k merge
+ * (shard/merge — the timing model charges the merge, the answer layer
+ * shard/answers pins its value).
+ *
+ * Every (shard, replica) lane owns a dynamic batcher and one simulated
+ * GPU instance running batches against the shard's sub-index
+ * (shard/shard_index), with the same admission shedding / degraded
+ * knobs / deadline expiry as the single server. Scatter and gather
+ * hops cross an interconnect with a fixed-latency + bandwidth link
+ * model; a request completes when its last surviving sub-query's
+ * result has crossed back and merged:
+ *
+ *     completion = max over sub-queries (lane completion + gather hop)
+ *                + merge cost.
+ *
+ * Determinism: arrivals are processed in stream order, scatter
+ * messages in send order, lanes in index order; batch simulations fan
+ * out over an hsu::ThreadPool but are pure functions resolved in lane
+ * order. Reports are bit-identical for any HSU_JOBS / HSU_SIM_JOBS
+ * (tests/shard/test_cluster.cc pins this), and a 1x1 cluster with a
+ * zero-cost link reproduces serve::Server exactly.
+ */
+
+#ifndef HSU_SHARD_CLUSTER_HH
+#define HSU_SHARD_CLUSTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/server.hh"
+#include "shard/partition.hh"
+
+namespace hsu::shard
+{
+
+/** Interconnect cost model for one router<->shard hop. */
+struct LinkModel
+{
+    /** Fixed per-message latency (cycles). */
+    Cycle latencyCycles = 0;
+    /** Link bandwidth; 0 disables the bandwidth term. */
+    double bytesPerCycle = 0.0;
+
+    /** Cycles for one message of @p bytes. */
+    Cycle
+    hopCycles(std::uint64_t bytes) const
+    {
+        Cycle t = latencyCycles;
+        if (bytesPerCycle > 0.0) {
+            t += static_cast<Cycle>(
+                static_cast<double>(bytes) / bytesPerCycle);
+        }
+        return t;
+    }
+};
+
+/** Replica-selection policy for sub-queries within one shard. */
+enum class LoadBalance : std::uint8_t
+{
+    RoundRobin,       //!< cycle replicas per sub-query
+    LeastOutstanding, //!< fewest queued + in-flight; ties to lowest
+};
+
+std::string toString(LoadBalance policy);
+
+/** Full cluster configuration. */
+struct ClusterConfig
+{
+    /** Per-replica GPU; rtUnitEnabled selects HSU vs Baseline
+     *  lowering for every shard batch. */
+    GpuConfig gpu;
+    PartitionPolicy partition = PartitionPolicy::Spatial;
+    unsigned numShards = 2;
+    unsigned replicasPerShard = 1;
+    LoadBalance balance = LoadBalance::RoundRobin;
+    serve::BatchPolicy batch;
+    /** Per-lane admission/degradation watermarks (serve semantics). */
+    serve::DegradePolicy degrade;
+    std::uint32_t queryPoolSize = 1024;
+    Cycle launchOverheadCycles = 1'000;
+    /** Scatter/gather interconnect. Defaults to a zero-cost link so a
+     *  1x1 cluster degenerates to the single-instance server. */
+    LinkModel link;
+    /** Router-side merge cost per contributing shard answer. */
+    Cycle mergeCyclesPerShard = 0;
+    /** Payload sizes for the link's bandwidth term. */
+    std::uint64_t scatterBytes = 64;
+    std::uint64_t gatherBytes = 128;
+    /** Simulation worker threads; 0 -> HSU_JOBS / hardware. */
+    unsigned jobs = 0;
+};
+
+/** Per-shard slice of a cluster run (replicas aggregated). */
+struct ShardReport
+{
+    std::uint64_t subqueries = 0;    //!< delivered to this shard
+    std::uint64_t batches = 0;       //!< kernel launches
+    std::uint64_t shedAdmission = 0; //!< lane queue at shedWater
+    std::uint64_t shedExpired = 0;   //!< dropped at batch formation
+    std::uint64_t degraded = 0;      //!< served with degraded knobs
+    Histogram queueWaitCycles;       //!< delivery -> dispatch
+};
+
+/** Aggregate results of one open-loop cluster run. */
+struct ClusterReport
+{
+    std::uint64_t offered = 0;   //!< requests in the input stream
+    std::uint64_t completed = 0; //!< merged with >= 1 shard answer
+    /** Completed, but >= 1 sub-query was shed (partial answer). */
+    std::uint64_t partialAnswers = 0;
+    /** Every routed sub-query shed: no answer at all. */
+    std::uint64_t shedRequests = 0;
+    std::uint64_t subqueries = 0; //!< total scatter fan-out
+    Cycle lastCompletionCycle = 0;
+
+    Histogram latencyCycles; //!< arrival -> merged, per request
+    Histogram fanout;        //!< shards touched per request
+    Histogram batchSize;     //!< requests per launch, cluster-wide
+    /** Cluster-wide queue wait: Histogram::merge over the per-shard
+     *  histograms (tested against oracle percentiles). */
+    Histogram queueWaitCycles;
+
+    std::vector<ShardReport> shards;
+
+    double
+    achievedQps() const
+    {
+        if (lastCompletionCycle == 0)
+            return 0.0;
+        return static_cast<double>(completed) /
+               (static_cast<double>(lastCompletionCycle) /
+                serve::kClockHz);
+    }
+
+    double
+    latencyUs(double p) const
+    {
+        return latencyCycles.percentile(p) / serve::kClockHz * 1.0e6;
+    }
+
+    /** Fraction of requests with degraded or missing answers. */
+    double
+    shedFraction() const
+    {
+        return offered ? static_cast<double>(partialAnswers +
+                                             shedRequests) /
+                             static_cast<double>(offered)
+                       : 0.0;
+    }
+};
+
+/** The sharded serving engine for one (algo, dataset) workload. */
+class ClusterServer
+{
+  public:
+    ClusterServer(Algo algo, DatasetId dataset,
+                  const ClusterConfig &cfg);
+
+    /**
+     * Replay @p requests (nondecreasing arrival order) to completion.
+     * Deterministic: depends only on the stream and the config, never
+     * on HSU_JOBS / HSU_SIM_JOBS.
+     */
+    ClusterReport run(const std::vector<serve::Request> &requests);
+
+  private:
+    Algo algo_;
+    DatasetId dataset_;
+    ClusterConfig cfg_;
+};
+
+} // namespace hsu::shard
+
+#endif // HSU_SHARD_CLUSTER_HH

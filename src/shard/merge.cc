@@ -1,0 +1,68 @@
+#include "shard/merge.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hsu::shard
+{
+
+std::vector<Neighbor>
+mergeTopK(const std::vector<std::vector<Neighbor>> &partials, unsigned k)
+{
+    std::vector<Neighbor> all;
+    for (const std::vector<Neighbor> &p : partials)
+        all.insert(all.end(), p.begin(), p.end());
+    // Neighbor's (dist2, index) order is strict and total over unique
+    // global ids, so a plain sort is deterministic; k is small enough
+    // that a k-way heap merge would buy nothing.
+    std::sort(all.begin(), all.end());
+    if (all.size() > k)
+        all.resize(k);
+    return all;
+}
+
+Neighbor
+mergeNearest(const std::vector<std::optional<Neighbor>> &partials)
+{
+    std::optional<Neighbor> best;
+    for (const std::optional<Neighbor> &p : partials) {
+        if (!p)
+            continue;
+        if (!best || *p < *best)
+            best = *p;
+    }
+    hsu_assert(best.has_value(), "1-NN merge over empty partials");
+    return *best;
+}
+
+RadiusHit
+mergeRadiusHits(const std::vector<RadiusHit> &partials)
+{
+    RadiusHit best;
+    for (const RadiusHit &p : partials) {
+        if (p.index < 0)
+            continue;
+        if (best.index < 0 || p.dist2 < best.dist2 ||
+            (p.dist2 == best.dist2 && p.index < best.index)) {
+            best = p;
+        }
+    }
+    return best;
+}
+
+std::optional<std::uint32_t>
+mergeLookups(const std::vector<std::optional<std::uint32_t>> &partials)
+{
+    std::optional<std::uint32_t> hit;
+    for (const std::optional<std::uint32_t> &p : partials) {
+        if (!p)
+            continue;
+        hsu_assert(!hit.has_value(),
+                   "key present on more than one shard");
+        hit = p;
+    }
+    return hit;
+}
+
+} // namespace hsu::shard

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic scatter-gather merges for sharded serving.
+ *
+ * Each shard answers a query over its slice only; the router combines
+ * the partial answers into the cluster answer. All merges are pure
+ * functions with total orders on their inputs — by (dist2, global id)
+ * for neighbor sets — so the merged answer is bit-identical no matter
+ * how many shards contributed, in what order their responses landed,
+ * or how many worker threads ran the simulations. tests/shard pins
+ * merged answers against unsharded golden answers for every family.
+ */
+
+#ifndef HSU_SHARD_MERGE_HH
+#define HSU_SHARD_MERGE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "search/bvhnn.hh"
+#include "structures/kdtree.hh"
+
+namespace hsu::shard
+{
+
+/**
+ * Merge per-shard top-k candidate lists (each sorted by Neighbor's
+ * (dist2, index) order, indices global) into the overall top-k.
+ * Global ids are unique across shards, so the order is total and the
+ * result is independent of shard enumeration order.
+ */
+std::vector<Neighbor>
+mergeTopK(const std::vector<std::vector<Neighbor>> &partials,
+          unsigned k);
+
+/**
+ * Merge per-shard exact 1-NN answers (FLANN): the minimum under
+ * (dist2, index). @p partials entries with empty ids are allowed for
+ * shards that held no candidate. @pre at least one engaged entry.
+ */
+Neighbor mergeNearest(const std::vector<std::optional<Neighbor>> &partials);
+
+/**
+ * Merge per-shard radius answers (BVH-NN): nearest in-radius hit under
+ * (dist2, index), indices global; {-1, 0} when no shard found a hit.
+ */
+RadiusHit mergeRadiusHits(const std::vector<RadiusHit> &partials);
+
+/**
+ * Merge per-shard B+tree lookups. Keys live on exactly one shard, so
+ * at most one partial may be engaged (asserted); the merge returns it,
+ * or nullopt when every routed shard missed.
+ */
+std::optional<std::uint32_t>
+mergeLookups(const std::vector<std::optional<std::uint32_t>> &partials);
+
+} // namespace hsu::shard
+
+#endif // HSU_SHARD_MERGE_HH

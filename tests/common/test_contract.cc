@@ -154,6 +154,7 @@ TEST(AuditRegistry, KnownSourcesAreRegistered)
     forceLinkage();
     const char *expected[] = {
         "rng.cc:Rng",
+        "rng.cc:deriveSeed",
         "cache.cc:mshr_",
         "rtunit.cc:pendingLines_",
         "ggnn.cc:visited",

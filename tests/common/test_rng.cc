@@ -1,0 +1,62 @@
+/**
+ * @file
+ * deriveSeed contract: pinned values (the sharded partitioner, arrival
+ * generators, and every other consumer depend on these exact outputs
+ * for cross-version reproducibility), full-avalanche distinctness, and
+ * the absence of the classic seed+i aliasing that motivated it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+
+namespace hsu
+{
+namespace
+{
+
+TEST(DeriveSeed, PinnedValues)
+{
+    // Changing any of these silently reshuffles every derived RNG
+    // stream in the repo (hash partitioning included) — bump them only
+    // with a deliberate, documented seed-schema migration.
+    EXPECT_EQ(deriveSeed(0, 0), 0x6187aa822d330dddULL);
+    EXPECT_EQ(deriveSeed(0, 1), 0x8d2a7797fdcd6e7dULL);
+    EXPECT_EQ(deriveSeed(1, 0), 0xe28bcbef317bfe85ULL);
+    EXPECT_EQ(deriveSeed(0xdeadbeefULL, 7), 0x73e8725112767c06ULL);
+    EXPECT_EQ(deriveSeed(42, 0xffffffffffffffffULL),
+              0xba825d03327096d3ULL);
+}
+
+TEST(DeriveSeed, NoAdjacentRootAliasing)
+{
+    // Naive seed+i schemes collide: (root, i) == (root+1, i-1). The
+    // double-avalanche derivation must not.
+    for (std::uint64_t root = 0; root < 64; ++root) {
+        for (std::uint64_t i = 1; i < 64; ++i) {
+            EXPECT_NE(deriveSeed(root, i), deriveSeed(root + 1, i - 1))
+                << "root=" << root << " i=" << i;
+        }
+    }
+}
+
+TEST(DeriveSeed, ChildFamiliesAreDistinct)
+{
+    // 64 roots x 64 streams: all 4096 derived seeds unique.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t root = 0; root < 64; ++root)
+        for (std::uint64_t i = 0; i < 64; ++i)
+            EXPECT_TRUE(seen.insert(deriveSeed(root, i)).second)
+                << "collision at root=" << root << " i=" << i;
+    EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(DeriveSeed, PureFunction)
+{
+    EXPECT_EQ(deriveSeed(123, 456), deriveSeed(123, 456));
+}
+
+} // namespace
+} // namespace hsu

@@ -131,6 +131,36 @@ TEST(Histogram, MergeEquivalentToCombinedStream)
         EXPECT_DOUBLE_EQ(ha.percentile(p), hall.percentile(p));
 }
 
+TEST(Histogram, ShardMergePercentilesMatchOracle)
+{
+    // The cluster report folds per-shard queue-wait histograms with
+    // merge() (shard/cluster.cc); pin that an N-way split-and-merge
+    // still reports percentiles inside the bucket holding the exact
+    // order statistic of the combined stream.
+    const auto samples = sampleStream(4000, 13);
+    constexpr unsigned kShards = 4;
+    std::vector<Histogram> per_shard(kShards);
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        per_shard[i % kShards].add(samples[i]);
+
+    Histogram merged;
+    for (const Histogram &h : per_shard)
+        merged.merge(h);
+    EXPECT_EQ(merged.count(), samples.size());
+
+    for (const double p : {1.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+        const double exact = oraclePercentile(samples, p);
+        const double est = merged.percentile(p);
+        EXPECT_GE(est, merged.bucketLo(exact)) << "p" << p;
+        EXPECT_LE(est, merged.bucketHi(exact)) << "p" << p;
+    }
+    // Exact extremes survive the merge untouched.
+    EXPECT_DOUBLE_EQ(merged.max(),
+                     *std::max_element(samples.begin(), samples.end()));
+    EXPECT_DOUBLE_EQ(merged.min(),
+                     *std::min_element(samples.begin(), samples.end()));
+}
+
 TEST(Histogram, UnderflowBucketAndEmpty)
 {
     Histogram h;

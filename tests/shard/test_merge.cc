@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Scatter-gather merge correctness: for every index family and both
+ * partition policies, the merged sharded answer set is bit-identical
+ * to an independent unsharded oracle at N in {1, 2, 4} shards. This
+ * pins, in one equality, that the partitioner loses/duplicates no
+ * element, that router pruning never skips a shard holding part of
+ * the answer, that the per-shard kernels are exact over their slices,
+ * and that the merge's (dist2, global id) order reconstructs the
+ * global answer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "shard/answers.hh"
+
+namespace hsu::shard
+{
+namespace
+{
+
+constexpr std::size_t kPool = 64;
+
+std::vector<std::uint32_t>
+allPoolQueries()
+{
+    std::vector<std::uint32_t> ids(kPool);
+    std::iota(ids.begin(), ids.end(), 0u);
+    return ids;
+}
+
+DatasetId
+datasetFor(Algo algo)
+{
+    switch (algo) {
+      case Algo::Ggnn:
+        return DatasetId::Sift10k;
+      case Algo::Flann:
+      case Algo::Bvhnn:
+        return DatasetId::Random10k;
+      case Algo::Btree:
+        return DatasetId::BTree10k;
+    }
+    hsu_panic("unknown algo");
+}
+
+class MergeGolden
+    : public ::testing::TestWithParam<std::tuple<Algo, PartitionPolicy>>
+{
+};
+
+TEST_P(MergeGolden, ShardedEqualsUnsharded)
+{
+    const auto [algo, policy] = GetParam();
+    const DatasetId dataset = datasetFor(algo);
+    const std::vector<std::uint32_t> queries = allPoolQueries();
+    const AnswerSet golden =
+        answerUnsharded(algo, dataset, queries, kPool);
+    for (const unsigned shards : {1u, 2u, 4u}) {
+        const AnswerSet merged = answerSharded(
+            algo, dataset, policy, shards, queries, kPool);
+        EXPECT_TRUE(merged == golden)
+            << toString(algo) << " diverged at "
+            << toString(policy) << " x" << shards;
+    }
+}
+
+// toString(Algo) values contain '+'/'-', which gtest names disallow.
+const char *const kAlgoNames[] = {"Ggnn", "Flann", "Bvhnn", "Btree"};
+
+std::string
+mergeGoldenName(
+    const ::testing::TestParamInfo<std::tuple<Algo, PartitionPolicy>>
+        &info)
+{
+    return std::string(
+               kAlgoNames[static_cast<int>(std::get<0>(info.param))]) +
+           "_" + toString(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, MergeGolden,
+    ::testing::Combine(::testing::Values(Algo::Ggnn, Algo::Flann,
+                                         Algo::Bvhnn, Algo::Btree),
+                       ::testing::Values(PartitionPolicy::Spatial,
+                                         PartitionPolicy::Hash)),
+    mergeGoldenName);
+
+TEST(Merge, TopKOrderIsTotal)
+{
+    // Two shards with interleaved distances and a cross-shard tie:
+    // the merged order is (dist2, global id) regardless of input
+    // arrangement.
+    const std::vector<std::vector<Neighbor>> partials = {
+        {{10, 0.25f}, {12, 0.5f}, {14, 0.5f}},
+        {{3, 0.125f}, {13, 0.5f}},
+    };
+    const std::vector<Neighbor> merged = mergeTopK(partials, 4);
+    ASSERT_EQ(merged.size(), 4u);
+    EXPECT_EQ(merged[0].index, 3u);
+    EXPECT_EQ(merged[1].index, 10u);
+    EXPECT_EQ(merged[2].index, 12u); // 0.5 tie broken by global id
+    EXPECT_EQ(merged[3].index, 13u);
+
+    // Shard enumeration order must not matter.
+    const std::vector<std::vector<Neighbor>> swapped = {partials[1],
+                                                        partials[0]};
+    const std::vector<Neighbor> remerged = mergeTopK(swapped, 4);
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged[i].index, remerged[i].index);
+        EXPECT_EQ(merged[i].dist2, remerged[i].dist2);
+    }
+}
+
+TEST(Merge, RadiusHitPrefersNearestThenLowestId)
+{
+    const RadiusHit none{-1, 0.0f};
+    EXPECT_EQ(mergeRadiusHits({none, none}).index, -1);
+    EXPECT_EQ(mergeRadiusHits({none, {7, 0.5f}}).index, 7);
+    EXPECT_EQ(mergeRadiusHits({{9, 0.25f}, {7, 0.5f}}).index, 9);
+    EXPECT_EQ(mergeRadiusHits({{9, 0.5f}, {7, 0.5f}}).index, 7);
+}
+
+TEST(Merge, LookupsSingleOwner)
+{
+    EXPECT_EQ(mergeLookups({std::nullopt, std::nullopt}), std::nullopt);
+    EXPECT_EQ(mergeLookups({std::nullopt, 42u}), 42u);
+}
+
+} // namespace
+} // namespace hsu::shard
