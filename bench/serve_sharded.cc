@@ -67,7 +67,7 @@ singleGpuCapacityQps(Algo algo, DatasetId dataset,
 {
     GpuConfig base = cfg.gpu;
     base.rtUnitEnabled = false;
-    std::vector<std::uint32_t> ids(cfg.batch.maxBatch);
+    std::vector<std::uint32_t> ids(cfg.pipeline.batch.maxBatch);
     std::iota(ids.begin(), ids.end(), 0u);
     const std::shared_ptr<const KernelTrace> trace =
         emitBatchTrace(algo, dataset, KernelVariant::Baseline,
@@ -76,7 +76,7 @@ singleGpuCapacityQps(Algo algo, DatasetId dataset,
     const std::uint64_t cycles =
         simulateKernel(base, trace, stats).cycles +
         cfg.launchOverheadCycles;
-    return serve::kClockHz * static_cast<double>(cfg.batch.maxBatch) /
+    return serve::kClockHz * static_cast<double>(cfg.pipeline.batch.maxBatch) /
            static_cast<double>(cycles);
 }
 
@@ -85,6 +85,7 @@ struct SweepPoint
     Algo algo;
     std::string dataset;
     bool hsu = false;
+    serve::BatchPolicyKind policy = serve::BatchPolicyKind::Fifo;
     unsigned shards = 1;
     unsigned replicas = 1;
     double loadMult = 0.0;
@@ -122,6 +123,7 @@ main(int argc, char **argv)
     bool smoke = false;
     unsigned jobs = 0;
     unsigned shards_override = 0;
+    std::string policy_arg = "fifo";
     args.envFlag(quick, "quick", "HSU_QUICK",
                  "2 load points / 2 batches per point");
     args.flag(smoke, "smoke",
@@ -130,10 +132,20 @@ main(int argc, char **argv)
                 "worker threads for batch simulations");
     args.envOpt(shards_override, "shards", "HSU_SHARDS",
                 "restrict the sweep to one shard count");
+    args.envOpt(policy_arg, "policy", "HSU_BATCH_POLICY",
+                "per-lane batch order: fifo|coherent|both");
     if (!args.parse(argc, argv))
         return args.exitCode();
     if (smoke)
         quick = true;
+
+    std::vector<serve::BatchPolicyKind> policies;
+    if (policy_arg == "both") {
+        policies = {serve::BatchPolicyKind::Fifo,
+                    serve::BatchPolicyKind::Coherent};
+    } else {
+        policies = {serve::parseBatchPolicy(policy_arg)};
+    }
 
     std::vector<unsigned> shard_counts =
         quick ? std::vector<unsigned>{1, 2}
@@ -172,17 +184,18 @@ main(int argc, char **argv)
     Table t("Sharded serving: open-loop Poisson traffic over N shards "
             "x R replicas (spatial partitioning; load grid = multiples "
             "of the single-GPU baseline full-batch capacity)",
-            {"Algo", "Variant", "SxR", "Load x", "Offered QPS",
-             "Achieved QPS", "p50 us", "p99 us", "Shed", "Fanout"});
+            {"Algo", "Variant", "Policy", "SxR", "Load x",
+             "Offered QPS", "Achieved QPS", "p50 us", "p99 us", "Shed",
+             "Fanout"});
 
     std::vector<SweepPoint> points;
     for (const auto &[algo, dataset] : kWorkloads) {
         shard::ClusterConfig proto;
         proto.gpu = bench::defaultGpu();
         proto.queryPoolSize = 1024;
-        proto.batch.maxBatch = maxBatchFor(algo);
-        proto.degrade.highWater = 2 * proto.batch.maxBatch;
-        proto.degrade.shedWater = 16 * proto.batch.maxBatch;
+        proto.pipeline.batch.maxBatch = maxBatchFor(algo);
+        proto.pipeline.degrade.highWater = 2 * proto.pipeline.batch.maxBatch;
+        proto.pipeline.degrade.shedWater = 16 * proto.pipeline.batch.maxBatch;
         // NVLink-class hop: fixed latency plus a bandwidth term.
         proto.link.latencyCycles = 2'000;
         proto.link.bytesPerCycle = 16.0;
@@ -191,7 +204,7 @@ main(int argc, char **argv)
         const double cap_qps =
             singleGpuCapacityQps(algo, dataset, proto);
         const std::size_t requests_per_point =
-            batches_per_point * proto.batch.maxBatch;
+            batches_per_point * proto.pipeline.batch.maxBatch;
 
         for (const unsigned shards : shard_counts) {
             for (const unsigned replicas : replica_counts) {
@@ -205,7 +218,7 @@ main(int argc, char **argv)
                     arr.queryPoolSize = proto.queryPoolSize;
                     arr.deadlineCycles = static_cast<Cycle>(
                         40.0 * serve::kClockHz *
-                        static_cast<double>(proto.batch.maxBatch) /
+                        static_cast<double>(proto.pipeline.batch.maxBatch) /
                         cap_qps);
                     arr.seed = 0xcafe +
                                static_cast<std::uint64_t>(mult * 100);
@@ -213,11 +226,14 @@ main(int argc, char **argv)
                         serve::ArrivalGenerator(arr, algo, dataset)
                             .generate(requests_per_point);
 
+                    for (const serve::BatchPolicyKind policy :
+                         policies)
                     for (const bool hsu_on : {false, true}) {
                         shard::ClusterConfig cfg = proto;
                         cfg.numShards = shards;
                         cfg.replicasPerShard = replicas;
                         cfg.gpu.rtUnitEnabled = hsu_on;
+                        cfg.pipeline.policy = policy;
                         cfg.jobs = jobs;
                         shard::ClusterServer cluster(algo, dataset,
                                                      cfg);
@@ -229,6 +245,7 @@ main(int argc, char **argv)
                         pt.dataset =
                             datasetInfo(dataset).paperName;
                         pt.hsu = hsu_on;
+                        pt.policy = policy;
                         pt.shards = shards;
                         pt.replicas = replicas;
                         pt.loadMult = mult;
@@ -248,6 +265,7 @@ main(int argc, char **argv)
 
                         t.addRow({toString(algo),
                                   hsu_on ? "HSU" : "base",
+                                  serve::toString(policy),
                                   std::to_string(shards) + "x" +
                                       std::to_string(replicas),
                                   Table::num(mult, 2),
@@ -271,7 +289,7 @@ main(int argc, char **argv)
         cfg.gpu = bench::defaultGpu();
         cfg.numShards = shard_counts.back();
         cfg.replicasPerShard = replica_counts.back();
-        cfg.batch.maxBatch = 32;
+        cfg.pipeline.batch.maxBatch = 32;
         cfg.queryPoolSize = 64;
         cfg.link.latencyCycles = 1'000;
         serve::ArrivalConfig arr;
@@ -312,6 +330,7 @@ main(int argc, char **argv)
             out << "    {\"algo\": \"" << toString(p.algo)
                 << "\", \"dataset\": \"" << p.dataset
                 << "\", \"variant\": \"" << (p.hsu ? "hsu" : "base")
+                << "\", \"policy\": \"" << serve::toString(p.policy)
                 << "\", \"shards\": " << p.shards
                 << ", \"replicas\": " << p.replicas
                 << ", \"load_mult\": " << p.loadMult

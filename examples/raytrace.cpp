@@ -6,13 +6,14 @@
  * RAY_INTERSECT semantics (4-wide box tests + watertight triangle
  * tests), and writes a PPM depth image.
  *
- * Run:  ./build/examples/raytrace [out.ppm]
+ * Run:  ./build/examples/raytrace [--out out.ppm]
  */
 
 #include <cstdio>
 #include <fstream>
 #include <vector>
 
+#include "common/argparse.hh"
 #include "common/rng.hh"
 #include "hsu/functional.hh"
 #include "structures/lbvh.hh"
@@ -63,7 +64,13 @@ traceRay(const PreparedRay &pr, const Bvh4 &bvh,
 int
 main(int argc, char **argv)
 {
-    const char *path = argc > 1 ? argv[1] : "raytrace_out.ppm";
+    ArgParser args("raytrace",
+                   "render a procedural scene through the RT-unit "
+                   "instruction semantics, write a PPM depth image");
+    std::string path = "raytrace_out.ppm";
+    args.opt(path, "out", "output PPM path");
+    if (!args.parse(argc, argv))
+        return args.exitCode();
 
     // Procedural scene: a field of random triangles plus a floor fan.
     std::vector<Triangle> tris;
@@ -124,6 +131,6 @@ main(int argc, char **argv)
     out.write(reinterpret_cast<const char *>(img.data()),
               static_cast<std::streamsize>(img.size()));
     std::printf("rendered %dx%d, %zu/%d pixels hit -> %s\n", width,
-                height, hits, width * height, path);
+                height, hits, width * height, path.c_str());
     return hits > 0 ? 0 : 1;
 }

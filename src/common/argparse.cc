@@ -67,6 +67,13 @@ ArgParser::envOpt(unsigned &out, const std::string &name,
     options_.push_back(Option{Type::Unsigned, name, env_var, help, &out});
 }
 
+void
+ArgParser::envOpt(std::string &out, const std::string &name,
+                  const std::string &env_var, const std::string &help)
+{
+    options_.push_back(Option{Type::String, name, env_var, help, &out});
+}
+
 ArgParser::Option *
 ArgParser::find(const std::string &name)
 {
@@ -100,6 +107,9 @@ ArgParser::applyEnvDefaults()
                     static_cast<unsigned>(parsed);
             break;
           }
+          case Type::String:
+            *static_cast<std::string *>(o.target) = v;
+            break;
           default:
             break;
         }
@@ -120,6 +130,9 @@ ArgParser::exportEnvValues() const
           case Type::Unsigned:
             value = std::to_string(*static_cast<const unsigned *>(
                 o.target));
+            break;
+          case Type::String:
+            value = *static_cast<const std::string *>(o.target);
             break;
           default:
             continue;

@@ -64,6 +64,15 @@ class ArgParser
                 const std::string &env_var, const std::string &help);
 
     /**
+     * Env-backed string option (e.g. --policy / HSU_BATCH_POLICY): the
+     * environment supplies the default, the command line overrides,
+     * and the parsed value is written back to the environment (an
+     * empty value unsets the variable).
+     */
+    void envOpt(std::string &out, const std::string &name,
+                const std::string &env_var, const std::string &help);
+
+    /**
      * Parse argv. On `--help` prints usage and returns false with exit
      * code 0; on a parse error prints the error + usage to stderr and
      * returns false with exit code 64 (EX_USAGE). On success returns

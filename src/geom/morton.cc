@@ -74,4 +74,29 @@ mortonCode63(const Vec3 &p, const Aabb &bounds)
     return mortonCode63(unit);
 }
 
+std::vector<std::uint64_t>
+mortonCodes63(const float *coords, std::size_t count, std::size_t stride)
+{
+    std::vector<std::uint64_t> codes;
+    if (count == 0)
+        return codes;
+    const std::size_t dims = std::min<std::size_t>(3, stride);
+    auto component = [&](std::size_t i, std::size_t axis) {
+        return axis < dims ? coords[i * stride + axis] : 0.0f;
+    };
+    Aabb bounds;
+    for (std::size_t i = 0; i < count; ++i) {
+        bounds.expand(Vec3{component(i, 0), component(i, 1),
+                           component(i, 2)});
+    }
+    codes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        codes.push_back(mortonCode63(Vec3{component(i, 0),
+                                          component(i, 1),
+                                          component(i, 2)},
+                                     bounds));
+    }
+    return codes;
+}
+
 } // namespace hsu

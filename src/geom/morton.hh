@@ -9,6 +9,7 @@
 #define HSU_GEOM_MORTON_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "geom/aabb.hh"
 #include "geom/vec3.hh"
@@ -29,8 +30,25 @@ std::uint32_t mortonCode30(const Vec3 &unit_p);
 std::uint64_t mortonCode63(const Vec3 &unit_p);
 
 /** Map @p p into [0,1]^3 relative to @p bounds, then take the 63-bit
- *  Morton code. Degenerate (zero-extent) axes map to 0. */
+ *  Morton code. Degenerate (zero-extent) axes map to 0; coordinates
+ *  outside @p bounds clamp to the boundary cell. */
 std::uint64_t mortonCode63(const Vec3 &p, const Aabb &bounds);
+
+/**
+ * 63-bit Morton codes for @p count points stored in an interleaved
+ * float array with @p stride floats per point. Only the first three
+ * components of each point are used (components past the stride read
+ * as 0, so 1-D/2-D strides are legal); the normalization bounds are
+ * the tight AABB of those leading components, computed internally.
+ *
+ * This is the spatial sort key of the serving layer's coherence-aware
+ * batch policy (RTNN-style query sorting): points that are near each
+ * other in the leading subspace get nearby codes, so sorting a batch
+ * by code makes adjacent queries traverse the same tree nodes.
+ */
+std::vector<std::uint64_t> mortonCodes63(const float *coords,
+                                         std::size_t count,
+                                         std::size_t stride);
 
 } // namespace hsu
 

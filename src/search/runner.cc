@@ -24,6 +24,7 @@
 #include "common/memo.hh"
 #include "common/phase_timer.hh"
 #include "common/threadpool.hh"
+#include "geom/morton.hh"
 #include "search/btree_kernel.hh"
 #include "search/bvhnn.hh"
 #include "search/flann.hh"
@@ -495,6 +496,32 @@ serveQueryKeys(DatasetId dataset, std::size_t pool_size)
     hsu_assert(datasetInfo(dataset).kind == DatasetKind::Keys,
                "serveQueryKeys on a non-Keys dataset");
     return pool.keys;
+}
+
+const std::vector<std::uint64_t> &
+serveQueryCoherenceKeys(DatasetId dataset, std::size_t pool_size)
+{
+    struct CoherenceKeys
+    {
+        std::vector<std::uint64_t> codes;
+    };
+    const auto key = std::make_pair(dataset, pool_size);
+    return cachedAssets<CoherenceKeys>(
+               key,
+               [dataset, pool_size](CoherenceKeys &out) {
+                   const ServePool &pool =
+                       servePool(dataset, pool_size);
+                   if (datasetInfo(dataset).kind == DatasetKind::Keys) {
+                       out.codes.reserve(pool.keys.size());
+                       for (const std::uint32_t k : pool.keys)
+                           out.codes.push_back(k);
+                       return;
+                   }
+                   out.codes = mortonCodes63(pool.points[0],
+                                             pool.points.size(),
+                                             pool.points.dim());
+               })
+        .codes;
 }
 
 namespace

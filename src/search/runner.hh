@@ -242,6 +242,12 @@ struct ServeKnobs
  * this path) and comes back as an immutable shared trace that can be
  * handed to simulateKernel() without copying.
  *
+ * Ordering contract: queries are emitted in exactly the order of
+ * @p query_ids — lane/warp assignment follows position, not id. The
+ * serve scheduling pipeline's batch policies (serve/policy) rely on
+ * this to turn batch composition into memory coherence: a Morton- or
+ * key-sorted id vector puts neighboring queries in the same warp.
+ *
  * @param query_ids ids in [0, pool_size); one request each
  * @param knobs     (possibly degraded) kernel quality knobs
  */
@@ -266,6 +272,21 @@ const PointSet &serveQueryPoints(DatasetId dataset,
 /** Keys-dataset flavor of serveQueryPoints(). @pre kind is Keys. */
 const std::vector<std::uint32_t> &
 serveQueryKeys(DatasetId dataset, std::size_t pool_size);
+
+/**
+ * Coherence sort keys for the serving query pool, one 63-bit code per
+ * query id. Point and high-dimensional datasets get the Morton code of
+ * the query's leading three coordinates over the pool's tight AABB
+ * (geom/morton mortonCodes63); key datasets get the lookup key itself,
+ * zero-extended. Sorting a dynamic batch by these keys puts spatially
+ * (or key-range) adjacent queries next to each other, so their warps
+ * traverse the same index nodes — the serve-layer coherent batch
+ * policy's whole effect rides on emitBatchTrace() emitting queries in
+ * exactly the order given (which it does: query_ids order is emission
+ * order). Built once per (dataset, pool size) and cached.
+ */
+const std::vector<std::uint64_t> &
+serveQueryCoherenceKeys(DatasetId dataset, std::size_t pool_size);
 
 /** Datasets an algorithm is evaluated on (Table II usage). */
 std::vector<DatasetId> datasetsForAlgo(Algo algo);

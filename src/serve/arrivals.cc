@@ -1,5 +1,6 @@
 #include "serve/arrivals.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -15,6 +16,23 @@ ArrivalGenerator::ArrivalGenerator(const ArrivalConfig &cfg, Algo algo,
         hsu_fatal("arrival rate must be positive: ", cfg_.ratePerCycle);
     if (cfg_.queryPoolSize == 0)
         hsu_fatal("arrival query pool must be non-empty");
+
+    if (cfg_.queryDist == QueryDist::Zipf) {
+        if (cfg_.zipfExponent <= 0.0) {
+            hsu_fatal("zipf exponent must be positive: ",
+                      cfg_.zipfExponent);
+        }
+        // Unnormalized prefix sums of 1/(r+1)^s: inverse-CDF sampling
+        // needs only one uniform draw per request, and the table is a
+        // pure function of (pool size, exponent).
+        zipfCum_.reserve(cfg_.queryPoolSize);
+        double total = 0.0;
+        for (std::uint32_t r = 0; r < cfg_.queryPoolSize; ++r) {
+            total += std::pow(static_cast<double>(r) + 1.0,
+                              -cfg_.zipfExponent);
+            zipfCum_.push_back(total);
+        }
+    }
 
     if (cfg_.process == ArrivalProcess::Bursty) {
         const double f = cfg_.burstFraction;
@@ -82,12 +100,27 @@ ArrivalGenerator::next()
     req.arrivalCycle = static_cast<Cycle>(clockCycles_);
     req.algo = algo_;
     req.dataset = dataset_;
-    req.queryId =
-        static_cast<std::uint32_t>(rng_.nextBounded(cfg_.queryPoolSize));
+    req.queryId = nextQueryId();
     req.deadlineCycle = cfg_.deadlineCycles
                             ? req.arrivalCycle + cfg_.deadlineCycles
                             : kNeverCycle;
     return req;
+}
+
+std::uint32_t
+ArrivalGenerator::nextQueryId()
+{
+    if (cfg_.queryDist == QueryDist::Uniform) {
+        return static_cast<std::uint32_t>(
+            rng_.nextBounded(cfg_.queryPoolSize));
+    }
+    // Inverse CDF: u < total because nextDouble() < 1, but the product
+    // can round up to total itself, so clamp to the last id.
+    const double u = rng_.nextDouble() * zipfCum_.back();
+    const auto it =
+        std::upper_bound(zipfCum_.begin(), zipfCum_.end(), u);
+    const auto idx = static_cast<std::uint32_t>(it - zipfCum_.begin());
+    return std::min(idx, cfg_.queryPoolSize - 1);
 }
 
 std::vector<Request>

@@ -43,6 +43,20 @@ enum class ArrivalProcess : std::uint8_t
     Bursty,  //!< 2-state Markov-modulated Poisson
 };
 
+/**
+ * Query-id popularity distribution, layered on the timing process:
+ * WHICH pool query a request asks for, independent of WHEN it
+ * arrives. Zipf models the skewed repeat-query traffic real serving
+ * sees (and the regime where the frontend answer cache earns its
+ * keep): query id r is drawn with probability proportional to
+ * 1/(r+1)^s, so id 0 is the most popular (rank == id).
+ */
+enum class QueryDist : std::uint8_t
+{
+    Uniform, //!< every pool query equally likely
+    Zipf,    //!< rank-r probability ~ 1/(r+1)^zipfExponent
+};
+
 /** Arrival-process parameters. */
 struct ArrivalConfig
 {
@@ -59,6 +73,10 @@ struct ArrivalConfig
     Cycle deadlineCycles = 0;
     /** Serving query pool size request query-ids are drawn from. */
     std::uint32_t queryPoolSize = 1024;
+    /** Query-id popularity (orthogonal to the timing process). */
+    QueryDist queryDist = QueryDist::Uniform;
+    /** Zipf skew s; larger = more concentrated on the head. */
+    double zipfExponent = 1.0;
     /** Stream seed. */
     std::uint64_t seed = 1;
 
@@ -108,6 +126,9 @@ class ArrivalGenerator
     /** Exponential variate with the given rate (per cycle). */
     double exponential(double rate);
 
+    /** Draw the next query id under cfg_.queryDist. */
+    std::uint32_t nextQueryId();
+
     ArrivalConfig cfg_;
     Algo algo_;
     DatasetId dataset_;
@@ -119,6 +140,9 @@ class ArrivalGenerator
     double calmRate_ = 0.0;
     double burstRate_ = 0.0;
     double meanCalmCycles_ = 0.0;
+    /** Zipf inverse-CDF table: zipfCum_[i] = sum of the (unnormalized)
+     *  weights of ids 0..i; empty under Uniform. */
+    std::vector<double> zipfCum_;
 };
 
 } // namespace hsu::serve

@@ -1,0 +1,84 @@
+#include "serve/cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hsu::serve
+{
+
+std::string
+toString(CacheMode mode)
+{
+    switch (mode) {
+      case CacheMode::Exact:
+        return "exact";
+      case CacheMode::Tolerant:
+        return "tolerant";
+    }
+    hsu_panic("unknown cache mode");
+}
+
+AnswerCache::AnswerCache(const AnswerCacheConfig &cfg, Algo algo,
+                         DatasetId dataset, std::size_t pool_size)
+    : cfg_(cfg)
+{
+    exactOnly_ =
+        cfg_.mode == CacheMode::Exact || algo == Algo::Btree;
+    if (cfg_.enabled() && !exactOnly_)
+        codes_ = &serveQueryCoherenceKeys(dataset, pool_size);
+}
+
+std::uint64_t
+AnswerCache::keyFor(std::uint32_t query_id) const
+{
+    if (exactOnly_)
+        return query_id;
+    const unsigned shift = std::min(63u, 3u * cfg_.toleranceLevels);
+    return (*codes_)[query_id] >> shift;
+}
+
+void
+AnswerCache::touch(std::uint64_t key)
+{
+    const auto it = map_.find(key);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second = lru_.begin();
+}
+
+bool
+AnswerCache::lookup(std::uint32_t query_id)
+{
+    if (!cfg_.enabled())
+        return false;
+    const std::uint64_t key = keyFor(query_id);
+    if (map_.find(key) == map_.end()) {
+        misses_ += 1;
+        return false;
+    }
+    hits_ += 1;
+    touch(key);
+    return true;
+}
+
+void
+AnswerCache::insert(std::uint32_t query_id)
+{
+    if (!cfg_.enabled())
+        return;
+    const std::uint64_t key = keyFor(query_id);
+    if (map_.find(key) != map_.end()) {
+        touch(key);
+        return;
+    }
+    insertions_ += 1;
+    lru_.push_front(key);
+    map_.emplace(key, lru_.begin());
+    if (map_.size() > cfg_.capacity) {
+        evictions_ += 1;
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+}
+
+} // namespace hsu::serve

@@ -1,0 +1,158 @@
+#include "serve/pipeline.hh"
+
+#include "common/logging.hh"
+#include "sim/gpu.hh"
+
+namespace hsu::serve
+{
+
+QueryPipeline::QueryPipeline(const PipelineConfig &cfg, Algo algo,
+                             DatasetId dataset, std::size_t pool_size)
+    : cfg_(cfg), dataset_(dataset), poolSize_(pool_size),
+      batcher_(cfg.batch), cache_(cfg.cache, algo, dataset, pool_size)
+{
+    if (cfg_.degrade.shedWater == 0)
+        hsu_fatal("shedWater 0 would shed every request");
+    if (pool_size == 0)
+        hsu_fatal("pipeline needs a non-empty query pool");
+}
+
+Admission
+QueryPipeline::admit(const Request &req)
+{
+    if (cache_.lookup(req.queryId)) {
+        stats_.admitted += 1;
+        stats_.cacheHits += 1;
+        return Admission::CacheHit;
+    }
+    if (batcher_.pending() >= cfg_.degrade.shedWater) {
+        stats_.shedAdmission += 1;
+        return Admission::Shed;
+    }
+    stats_.admitted += 1;
+    batcher_.push(req);
+    return Admission::Queued;
+}
+
+bool
+QueryPipeline::batchReady(Cycle now) const
+{
+    return batcher_.batchReady(now);
+}
+
+Cycle
+QueryPipeline::nextForceCycle() const
+{
+    return batcher_.nextForceCycle();
+}
+
+std::size_t
+QueryPipeline::pending() const
+{
+    return batcher_.pending();
+}
+
+FormedBatch
+QueryPipeline::formBatch(Cycle now, Histogram &queue_wait,
+                         Histogram &batch_size)
+{
+    FormedBatch formed;
+    // The degradation signal is the queue depth the batch was formed
+    // under, sampled before the pop (pre-refactor server semantics).
+    formed.degraded = batcher_.pending() >= cfg_.degrade.highWater;
+    formed.requests = batcher_.popBatch(now, formed.expired);
+    stats_.shedExpired += formed.expired.size();
+    if (formed.requests.empty())
+        return formed; // everything pending had expired
+    stats_.batches += 1;
+    batch_size.add(static_cast<double>(formed.requests.size()));
+    if (formed.degraded)
+        stats_.degraded += formed.requests.size();
+    // Queue waits in FIFO pop order — the histogram's double-sum is
+    // order-sensitive and must not depend on the ordering policy.
+    for (const Request &r : formed.requests)
+        queue_wait.add(static_cast<double>(now - r.arrivalCycle));
+    orderBatch(cfg_.policy, dataset_, poolSize_, formed.requests);
+    return formed;
+}
+
+void
+QueryPipeline::recordServed(const std::vector<Request> &batch,
+                            bool degraded)
+{
+    if (degraded && !cfg_.cache.cacheDegraded)
+        return;
+    for (const Request &r : batch)
+        cache_.insert(r.queryId);
+}
+
+BatchExecutor::BatchExecutor(const GpuConfig &gpu,
+                             Cycle launch_overhead_cycles,
+                             const ServeKnobs &degraded_knobs,
+                             BatchTraceEmitter emitter)
+    : gpu_(gpu), launchOverheadCycles_(launch_overhead_cycles),
+      degradedKnobs_(degraded_knobs), emitter_(std::move(emitter))
+{
+    hsu_assert(emitter_, "batch executor needs a trace emitter");
+}
+
+void
+BatchExecutor::dispatch(ThreadPool &pool, Cycle now,
+                        FormedBatch &&formed)
+{
+    hsu_assert(!busy_, "dispatch on a busy instance");
+    std::vector<std::uint32_t> ids;
+    ids.reserve(formed.requests.size());
+    for (const Request &r : formed.requests)
+        ids.push_back(r.queryId);
+    const ServeKnobs knobs =
+        formed.degraded ? degradedKnobs_ : ServeKnobs{};
+    // The task is a pure function of (batch contents, knobs, config):
+    // the emitter owns no mutable state and simulateKernel() writes a
+    // task-local StatGroup, so the result is identical no matter which
+    // worker runs it or when it resolves.
+    const GpuConfig gpu = gpu_;
+    const BatchTraceEmitter emitter = emitter_;
+    pendingSim_ = pool.submit([gpu, emitter, ids, knobs]() {
+        const std::shared_ptr<const KernelTrace> trace =
+            emitter(ids, knobs);
+        StatGroup stats;
+        const RunResult run = simulateKernel(gpu, trace, stats);
+        BatchSim sim;
+        sim.cycles = run.cycles;
+        sim.l1Accesses = run.l1Accesses;
+        sim.l1Misses = run.l1Misses;
+        sim.rtuBusyCycles = stats.get("rtu.busy_cycles");
+        return sim;
+    });
+    busy_ = true;
+    resolved_ = false;
+    dispatchCycle_ = now;
+    batch_ = std::move(formed.requests);
+    degraded_ = formed.degraded;
+}
+
+void
+BatchExecutor::resolve(SimTotals &totals)
+{
+    if (!busy_ || resolved_)
+        return;
+    const BatchSim sim = pendingSim_.get();
+    readyCycle_ = dispatchCycle_ + launchOverheadCycles_ + sim.cycles;
+    resolved_ = true;
+    totals.kernelCycles += sim.cycles;
+    totals.smCycles += sim.cycles * gpu_.numSms;
+    totals.l1Accesses += sim.l1Accesses;
+    totals.l1Misses += sim.l1Misses;
+    totals.rtuBusyCycles += sim.rtuBusyCycles;
+}
+
+void
+BatchExecutor::finish()
+{
+    hsu_assert(busy_ && resolved_, "finish on an idle instance");
+    busy_ = false;
+    batch_.clear();
+}
+
+} // namespace hsu::serve

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The query-scheduling pipeline shared by every serving frontend.
+ *
+ * serve::Server and each shard::ClusterServer lane used to carry their
+ * own copy of the same wiring — admission shedding, the FIFO batcher,
+ * degradation watermarks, deadline expiry, dispatch bookkeeping. This
+ * layer factors that wiring into two composable pieces:
+ *
+ *  - QueryPipeline: the scheduling stages between "request arrives"
+ *    and "batch is ready to launch":
+ *
+ *        admit:     answer cache probe -> shed check -> FIFO queue
+ *        formBatch: deadline expiry -> degradation decision
+ *                   -> batch-ordering policy (serve/policy)
+ *
+ *    All admission/shed/degrade/expiry accounting lives here
+ *    (PipelineStats); latency/completion accounting stays with the
+ *    caller, who owns the simulated clock.
+ *
+ *  - BatchExecutor: one simulated GPU instance. dispatch() submits the
+ *    batch's kernel simulation to a worker pool (a pure function of
+ *    batch contents, so cycle counts are bit-identical for any
+ *    HSU_JOBS); resolve() blocks for the result and accumulates the
+ *    memory-system counters (SimTotals) the serving reports surface
+ *    (L1 hit rate, RT-unit/warp-buffer residency).
+ *
+ * Determinism contract: with the Fifo policy and a disabled cache the
+ * composed pipeline reproduces the pre-refactor event loops
+ * bit-identically (tests/serve/test_pipeline.cc pins golden reports).
+ * Histogram fills (double sums, order-sensitive) go through
+ * caller-owned sinks in FIFO pop order, BEFORE any policy reordering.
+ */
+
+#ifndef HSU_SERVE_PIPELINE_HH
+#define HSU_SERVE_PIPELINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/threadpool.hh"
+#include "search/runner.hh"
+#include "serve/arrivals.hh"
+#include "serve/batcher.hh"
+#include "serve/cache.hh"
+#include "serve/policy.hh"
+#include "sim/config.hh"
+#include "sim/trace.hh"
+
+namespace hsu::serve
+{
+
+/** Overload-response knobs. */
+struct DegradePolicy
+{
+    /** Queue depth at which batches switch to degraded knobs. */
+    std::size_t highWater = 96;
+    /** Queue depth at which new arrivals are shed outright. */
+    std::size_t shedWater = 512;
+    /** Degraded GGNN knobs (beam width / k under pressure). */
+    ServeKnobs degradedKnobs{16, 10};
+};
+
+/** Everything the scheduling stages need, in one bundle. */
+struct PipelineConfig
+{
+    /** Batch-formation triggers (size / age). */
+    BatchPolicy batch;
+    /** Batch-ordering policy applied to each formed batch. */
+    BatchPolicyKind policy = BatchPolicyKind::Fifo;
+    DegradePolicy degrade;
+    /** Answer cache in front of the queue (capacity 0 = off). */
+    AnswerCacheConfig cache;
+};
+
+/** Scheduling-side counters (u64 sums — order-independent). */
+struct PipelineStats
+{
+    std::uint64_t admitted = 0;      //!< queued or answered by cache
+    std::uint64_t shedAdmission = 0; //!< dropped at arrival (queue full)
+    std::uint64_t shedExpired = 0;   //!< dropped at batch formation
+    std::uint64_t degraded = 0;      //!< served with degraded knobs
+    std::uint64_t batches = 0;       //!< kernel launches formed
+    std::uint64_t cacheHits = 0;     //!< answered without a launch
+};
+
+/** What admit() did with one request. */
+enum class Admission : std::uint8_t
+{
+    Queued,   //!< entered the FIFO queue
+    CacheHit, //!< answered by the cache; never queued
+    Shed,     //!< dropped (queue at shedWater)
+};
+
+/** One batch leaving the pipeline. */
+struct FormedBatch
+{
+    /** Launch members, already in policy order. */
+    std::vector<Request> requests;
+    /** Deadline-expired requests dropped during formation (callers
+     *  with per-request join state resolve these as shed). */
+    std::vector<Request> expired;
+    /** Formed under pressure: run with degraded knobs. */
+    bool degraded = false;
+};
+
+/**
+ * The scheduling stages of one serving lane. Pure bookkeeping on the
+ * caller's simulated clock; never launches anything itself.
+ */
+class QueryPipeline
+{
+  public:
+    QueryPipeline(const PipelineConfig &cfg, Algo algo,
+                  DatasetId dataset, std::size_t pool_size);
+
+    /**
+     * Admit one request: cache probe first (a hit completes at
+     * arrival + cache.hitLatencyCycles and never occupies a queue
+     * slot), then the shedWater check, then the FIFO queue.
+     * @pre arrivals are nondecreasing.
+     */
+    Admission admit(const Request &req);
+
+    /** True when formBatch(now) would return work. */
+    bool batchReady(Cycle now) const;
+
+    /** Earliest future age-trigger cycle; kNeverCycle if queue empty. */
+    Cycle nextForceCycle() const;
+
+    /** Queued request count (the shed/degrade watermark signal). */
+    std::size_t pending() const;
+
+    /**
+     * Form the next batch: FIFO pop with deadline expiry, degradation
+     * decision (queue depth BEFORE the pop, matching the pre-refactor
+     * servers), then policy ordering. @p queue_wait and @p batch_size
+     * are caller-owned histogram sinks, filled in FIFO pop order so
+     * their double-sums are policy-independent. An all-expired pop
+     * returns an empty batch and touches neither histogram.
+     */
+    FormedBatch formBatch(Cycle now, Histogram &queue_wait,
+                          Histogram &batch_size);
+
+    /** Completion hook: fill the answer cache from a served batch
+     *  (degraded batches only when cache.cacheDegraded). */
+    void recordServed(const std::vector<Request> &batch, bool degraded);
+
+    const PipelineStats &stats() const { return stats_; }
+    const AnswerCache &cache() const { return cache_; }
+    const PipelineConfig &config() const { return cfg_; }
+
+  private:
+    PipelineConfig cfg_;
+    DatasetId dataset_;
+    std::size_t poolSize_;
+    DynamicBatcher batcher_;
+    AnswerCache cache_;
+    PipelineStats stats_;
+};
+
+/** One batch kernel simulation's results (pure per batch). */
+struct BatchSim
+{
+    std::uint64_t cycles = 0;
+    double l1Accesses = 0;
+    double l1Misses = 0;
+    /** RT-unit busy cycles ("rtu.busy_cycles"; 0 on the baseline). */
+    double rtuBusyCycles = 0;
+};
+
+/** Run-wide sums of the per-batch simulation results. Accumulated at
+ *  resolve time in deterministic lane order, so the double sums are
+ *  bit-identical across HSU_JOBS. */
+struct SimTotals
+{
+    std::uint64_t kernelCycles = 0; //!< summed batch kernel cycles
+    std::uint64_t smCycles = 0;     //!< kernel cycles x numSms
+    double l1Accesses = 0;
+    double l1Misses = 0;
+    double rtuBusyCycles = 0;
+};
+
+/** Emit the kernel trace of one batch — the only per-frontend piece
+ *  of the execution path (Server binds emitBatchTrace, cluster lanes
+ *  bind emitShardBatchTrace with their ShardKey). Must be a pure,
+ *  thread-safe function of its arguments. */
+using BatchTraceEmitter =
+    std::function<std::shared_ptr<const KernelTrace>(
+        const std::vector<std::uint32_t> &query_ids,
+        const ServeKnobs &knobs)>;
+
+/**
+ * One simulated GPU instance executing formed batches. The kernel
+ * simulation runs on a worker pool; dispatch() never blocks, resolve()
+ * does — callers dispatch every idle instance first so concurrently
+ * busy instances really simulate concurrently.
+ */
+class BatchExecutor
+{
+  public:
+    BatchExecutor(const GpuConfig &gpu, Cycle launch_overhead_cycles,
+                  const ServeKnobs &degraded_knobs,
+                  BatchTraceEmitter emitter);
+
+    /** Launch @p formed at @p now. @pre !busy(). */
+    void dispatch(ThreadPool &pool, Cycle now, FormedBatch &&formed);
+
+    /** Block for an unresolved in-flight simulation, fix readyCycle(),
+     *  and add its BatchSim into @p totals. No-op when idle/resolved. */
+    void resolve(SimTotals &totals);
+
+    bool busy() const { return busy_; }
+    /** Completion cycle (dispatch + launch overhead + kernel).
+     *  @pre busy() and resolved by resolve(). */
+    Cycle readyCycle() const { return readyCycle_; }
+    /** The in-flight batch, in launch order. @pre busy(). */
+    const std::vector<Request> &batch() const { return batch_; }
+    bool degraded() const { return degraded_; }
+
+    /** Retire the completed batch and go idle. */
+    void finish();
+
+  private:
+    GpuConfig gpu_;
+    Cycle launchOverheadCycles_;
+    ServeKnobs degradedKnobs_;
+    BatchTraceEmitter emitter_;
+
+    bool busy_ = false;
+    bool resolved_ = false; //!< completion cycle known
+    Cycle dispatchCycle_ = 0;
+    Cycle readyCycle_ = 0;
+    std::future<BatchSim> pendingSim_;
+    std::vector<Request> batch_;
+    bool degraded_ = false;
+};
+
+} // namespace hsu::serve
+
+#endif // HSU_SERVE_PIPELINE_HH

@@ -1,0 +1,48 @@
+#include "serve/policy.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.hh"
+
+namespace hsu::serve
+{
+
+std::string
+toString(BatchPolicyKind kind)
+{
+    switch (kind) {
+      case BatchPolicyKind::Fifo:
+        return "fifo";
+      case BatchPolicyKind::Coherent:
+        return "coherent";
+    }
+    hsu_panic("unknown batch policy");
+}
+
+BatchPolicyKind
+parseBatchPolicy(const std::string &name)
+{
+    if (name == "fifo")
+        return BatchPolicyKind::Fifo;
+    if (name == "coherent")
+        return BatchPolicyKind::Coherent;
+    hsu_fatal("unknown batch policy '", name, "' (fifo | coherent)");
+}
+
+void
+orderBatch(BatchPolicyKind kind, DatasetId dataset,
+           std::size_t pool_size, std::vector<Request> &batch)
+{
+    if (kind == BatchPolicyKind::Fifo || batch.size() < 2)
+        return;
+    const std::vector<std::uint64_t> &keys =
+        serveQueryCoherenceKeys(dataset, pool_size);
+    std::sort(batch.begin(), batch.end(),
+              [&keys](const Request &a, const Request &b) {
+                  return std::make_tuple(keys[a.queryId], a.id) <
+                         std::make_tuple(keys[b.queryId], b.id);
+              });
+}
+
+} // namespace hsu::serve

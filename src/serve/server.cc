@@ -1,31 +1,12 @@
 #include "serve/server.hh"
 
 #include <algorithm>
-#include <future>
 
 #include "common/logging.hh"
 #include "common/threadpool.hh"
-#include "sim/gpu.hh"
 
 namespace hsu::serve
 {
-
-namespace
-{
-
-/** One simulated GPU instance: idle, or busy until a resolved cycle. */
-struct Instance
-{
-    bool busy = false;
-    bool resolved = false;           //!< completion cycle known
-    Cycle dispatchCycle = 0;
-    Cycle readyCycle = 0;            //!< valid when resolved
-    std::future<std::uint64_t> pendingCycles; //!< kernel sim in flight
-    std::vector<Request> batch;
-    bool degradedBatch = false;
-};
-
-} // namespace
 
 Server::Server(Algo algo, DatasetId dataset, const ServerConfig &cfg)
     : algo_(algo), dataset_(dataset), cfg_(cfg)
@@ -34,7 +15,7 @@ Server::Server(Algo algo, DatasetId dataset, const ServerConfig &cfg)
         hsu_fatal("server needs at least one GPU instance");
     if (cfg_.queryPoolSize == 0)
         hsu_fatal("server needs a non-empty query pool");
-    if (cfg_.degrade.shedWater == 0)
+    if (cfg_.pipeline.degrade.shedWater == 0)
         hsu_fatal("shedWater 0 would shed every request");
 }
 
@@ -45,138 +26,114 @@ Server::run(const std::vector<Request> &requests)
                                       ? KernelVariant::Hsu
                                       : KernelVariant::Baseline;
     ThreadPool pool(cfg_.jobs);
-    DynamicBatcher batcher(cfg_.batch);
-    std::vector<Instance> instances(cfg_.numInstances);
+    QueryPipeline pipeline(cfg_.pipeline, algo_, dataset_,
+                           cfg_.queryPoolSize);
+
+    // Every instance shares one emitter binding this workload's batch
+    // traces — a pure, thread-safe function of (ids, knobs).
+    const GpuConfig gpu = cfg_.gpu;
+    const Algo algo = algo_;
+    const DatasetId dataset = dataset_;
+    const std::uint32_t pool_size = cfg_.queryPoolSize;
+    const BatchTraceEmitter emitter =
+        [gpu, algo, dataset, variant, pool_size](
+            const std::vector<std::uint32_t> &ids,
+            const ServeKnobs &knobs) {
+            return emitBatchTrace(algo, dataset, variant, gpu.datapath,
+                                  ids, pool_size, knobs);
+        };
+    std::vector<BatchExecutor> instances;
+    instances.reserve(cfg_.numInstances);
+    for (unsigned i = 0; i < cfg_.numInstances; ++i) {
+        instances.emplace_back(cfg_.gpu, cfg_.launchOverheadCycles,
+                               cfg_.pipeline.degrade.degradedKnobs,
+                               emitter);
+    }
 
     ServeReport report;
     report.offered = requests.size();
+    SimTotals totals;
 
     std::size_t nextArrival = 0;
     Cycle now = 0;
 
     auto any_busy = [&] {
-        return std::any_of(instances.begin(), instances.end(),
-                           [](const Instance &i) { return i.busy; });
+        return std::any_of(
+            instances.begin(), instances.end(),
+            [](const BatchExecutor &i) { return i.busy(); });
     };
     auto any_idle = [&] {
-        return std::any_of(instances.begin(), instances.end(),
-                           [](const Instance &i) { return !i.busy; });
-    };
-
-    // Submit one batch kernel simulation to the worker pool. The task
-    // is a pure function of (batch contents, knobs, config), so the
-    // returned cycle count is identical no matter which worker runs it
-    // or when it resolves.
-    auto dispatch = [&](Instance &inst, std::vector<Request> batch,
-                        bool degraded) {
-        std::vector<std::uint32_t> ids;
-        ids.reserve(batch.size());
-        for (const Request &r : batch)
-            ids.push_back(r.queryId);
-        const ServeKnobs knobs =
-            degraded ? cfg_.degrade.degradedKnobs : ServeKnobs{};
-        const GpuConfig gpu = cfg_.gpu;
-        const Algo algo = algo_;
-        const DatasetId dataset = dataset_;
-        const std::uint32_t pool_size = cfg_.queryPoolSize;
-        inst.pendingCycles = pool.submit(
-            [gpu, algo, dataset, variant, ids, pool_size, knobs]() {
-                const std::shared_ptr<const KernelTrace> trace =
-                    emitBatchTrace(algo, dataset, variant, gpu.datapath,
-                                   ids, pool_size, knobs);
-                StatGroup stats;
-                return simulateKernel(gpu, trace, stats).cycles;
-            });
-        inst.busy = true;
-        inst.resolved = false;
-        inst.dispatchCycle = now;
-        inst.batch = std::move(batch);
-        inst.degradedBatch = degraded;
+        return std::any_of(
+            instances.begin(), instances.end(),
+            [](const BatchExecutor &i) { return !i.busy(); });
     };
 
     // Fill every idle instance with a ready batch. All sims dispatched
     // here were submitted before anything blocks on them, so
     // concurrently-busy instances really simulate concurrently.
     auto dispatch_ready = [&] {
-        for (Instance &inst : instances) {
-            if (inst.busy)
+        for (BatchExecutor &inst : instances) {
+            if (inst.busy())
                 continue;
-            if (!batcher.batchReady(now))
+            if (!pipeline.batchReady(now))
                 break;
-            const bool degraded =
-                batcher.pending() >= cfg_.degrade.highWater;
-            std::vector<Request> expired;
-            std::vector<Request> batch = batcher.popBatch(now, expired);
-            report.shedExpired += expired.size();
-            if (batch.empty())
+            FormedBatch formed = pipeline.formBatch(
+                now, report.queueWaitCycles, report.batchSize);
+            if (formed.requests.empty())
                 continue; // everything pending had expired
-            report.batches += 1;
-            report.batchSize.add(static_cast<double>(batch.size()));
-            if (degraded)
-                report.degraded += batch.size();
-            for (const Request &r : batch) {
-                report.queueWaitCycles.add(
-                    static_cast<double>(now - r.arrivalCycle));
-            }
-            dispatch(inst, std::move(batch), degraded);
+            inst.dispatch(pool, now, std::move(formed));
         }
     };
 
-    // Resolve in-flight completion times. Blocking on the first future
-    // lets every other in-flight simulation keep running in the pool.
+    // Resolve in-flight completion times, in instance order: blocking
+    // on the first future lets every other in-flight simulation keep
+    // running in the pool.
     auto resolve_busy = [&] {
-        for (Instance &inst : instances) {
-            if (!inst.busy || inst.resolved)
-                continue;
-            const std::uint64_t kernel_cycles =
-                inst.pendingCycles.get();
-            inst.readyCycle = inst.dispatchCycle +
-                              cfg_.launchOverheadCycles + kernel_cycles;
-            inst.resolved = true;
-        }
+        for (BatchExecutor &inst : instances)
+            inst.resolve(totals);
     };
 
-    while (nextArrival < requests.size() || batcher.pending() > 0 ||
+    while (nextArrival < requests.size() || pipeline.pending() > 0 ||
            any_busy()) {
         dispatch_ready();
         resolve_busy();
 
         // Batch formation may have drained the queue purely through
         // deadline expiry; nothing is left to schedule then.
-        if (nextArrival >= requests.size() && batcher.pending() == 0 &&
-            !any_busy()) {
+        if (nextArrival >= requests.size() &&
+            pipeline.pending() == 0 && !any_busy()) {
             break;
         }
 
-        // Next event: an arrival, a batch completion, or the batcher's
+        // Next event: an arrival, a batch completion, or the queue's
         // age trigger (only actionable while an instance sits idle).
         Cycle next = kNeverCycle;
         if (nextArrival < requests.size())
             next = std::min(next, requests[nextArrival].arrivalCycle);
-        for (const Instance &inst : instances) {
-            if (inst.busy)
-                next = std::min(next, inst.readyCycle);
+        for (const BatchExecutor &inst : instances) {
+            if (inst.busy())
+                next = std::min(next, inst.readyCycle());
         }
         if (any_idle())
-            next = std::min(next, batcher.nextForceCycle());
+            next = std::min(next, pipeline.nextForceCycle());
         hsu_assert(next != kNeverCycle, "server wedged at cycle ", now);
         now = std::max(now, next);
 
         // Completions first (frees instances and bounds the queue),
         // in instance order for a deterministic histogram fill.
-        for (Instance &inst : instances) {
-            if (!inst.busy || inst.readyCycle > now)
+        for (BatchExecutor &inst : instances) {
+            if (!inst.busy() || inst.readyCycle() > now)
                 continue;
-            for (const Request &r : inst.batch) {
+            for (const Request &r : inst.batch()) {
                 report.latencyCycles.add(
-                    static_cast<double>(inst.readyCycle -
+                    static_cast<double>(inst.readyCycle() -
                                         r.arrivalCycle));
             }
-            report.completed += inst.batch.size();
+            report.completed += inst.batch().size();
             report.lastCompletionCycle =
-                std::max(report.lastCompletionCycle, inst.readyCycle);
-            inst.busy = false;
-            inst.batch.clear();
+                std::max(report.lastCompletionCycle, inst.readyCycle());
+            pipeline.recordServed(inst.batch(), inst.degraded());
+            inst.finish();
         }
 
         // Then admissions up to the current cycle.
@@ -185,15 +142,31 @@ Server::run(const std::vector<Request> &requests)
             const Request &req = requests[nextArrival++];
             hsu_assert(req.queryId < cfg_.queryPoolSize,
                        "request query id outside the serving pool");
-            if (batcher.pending() >= cfg_.degrade.shedWater) {
-                report.shedAdmission += 1;
-                continue;
+            if (pipeline.admit(req) == Admission::CacheHit) {
+                const Cycle done =
+                    req.arrivalCycle +
+                    cfg_.pipeline.cache.hitLatencyCycles;
+                report.completed += 1;
+                report.latencyCycles.add(
+                    static_cast<double>(done - req.arrivalCycle));
+                report.lastCompletionCycle =
+                    std::max(report.lastCompletionCycle, done);
             }
-            report.admitted += 1;
-            batcher.push(req);
         }
     }
 
+    const PipelineStats &sched = pipeline.stats();
+    report.admitted = sched.admitted;
+    report.shedAdmission = sched.shedAdmission;
+    report.shedExpired = sched.shedExpired;
+    report.degraded = sched.degraded;
+    report.batches = sched.batches;
+    report.cacheHits = sched.cacheHits;
+    report.kernelCycles = totals.kernelCycles;
+    report.smCycles = totals.smCycles;
+    report.l1Accesses = totals.l1Accesses;
+    report.l1Misses = totals.l1Misses;
+    report.rtuBusyCycles = totals.rtuBusyCycles;
     return report;
 }
 

@@ -2,19 +2,21 @@
  * @file
  * Simulated-time online query server over the GPU timing model.
  *
- * An open-loop request stream (serve/arrivals) feeds a dynamic batcher
- * (serve/batcher); batches launch on one or more simulated GPU
- * instances. Everything advances on one unified simulated clock:
- * a request's latency is
+ * An open-loop request stream (serve/arrivals) feeds a query pipeline
+ * (serve/pipeline: answer cache -> admission -> FIFO batcher ->
+ * degradation -> batch-ordering policy); formed batches launch on one
+ * or more simulated GPU instances (serve/pipeline BatchExecutor).
+ * Everything advances on one unified simulated clock: a request's
+ * latency is
  *
  *     completion - arrival = queueing/batching wait
  *                          + launch overhead
  *                          + simulated kernel cycles of its batch,
  *
- * where the kernel cycles come from simulating the batch's trace on
- * the instance's Gpu — the same emitters and timing model as the
- * offline benches, so online and offline numbers are directly
- * comparable.
+ * (or just the cache hit latency when the answer cache has it), where
+ * the kernel cycles come from simulating the batch's trace on the
+ * instance's Gpu — the same emitters and timing model as the offline
+ * benches, so online and offline numbers are directly comparable.
  *
  * Admission control and graceful degradation: an arrival finding the
  * queue at shedWater is shed immediately; a batch formed while the
@@ -39,22 +41,11 @@
 #include "common/stats.hh"
 #include "search/runner.hh"
 #include "serve/arrivals.hh"
-#include "serve/batcher.hh"
+#include "serve/pipeline.hh"
 #include "sim/config.hh"
 
 namespace hsu::serve
 {
-
-/** Overload-response knobs. */
-struct DegradePolicy
-{
-    /** Queue depth at which batches switch to degraded knobs. */
-    std::size_t highWater = 96;
-    /** Queue depth at which new arrivals are shed outright. */
-    std::size_t shedWater = 512;
-    /** Degraded GGNN knobs (beam width / k under pressure). */
-    ServeKnobs degradedKnobs{16, 10};
-};
 
 /** Full server configuration. */
 struct ServerConfig
@@ -64,8 +55,9 @@ struct ServerConfig
     GpuConfig gpu;
     /** Simulated GPU instances batches fan out over. */
     unsigned numInstances = 1;
-    BatchPolicy batch;
-    DegradePolicy degrade;
+    /** Scheduling stages: batching, ordering policy, degradation,
+     *  answer cache. */
+    PipelineConfig pipeline;
     /** Serving query pool size (must cover request query-ids). */
     std::uint32_t queryPoolSize = 1024;
     /** Fixed per-launch overhead charged before kernel cycles. */
@@ -78,17 +70,26 @@ struct ServerConfig
 struct ServeReport
 {
     std::uint64_t offered = 0;      //!< requests in the input stream
-    std::uint64_t admitted = 0;     //!< passed admission control
+    std::uint64_t admitted = 0;     //!< queued or cache-answered
     std::uint64_t completed = 0;    //!< served to completion
     std::uint64_t shedAdmission = 0;//!< dropped at arrival (queue full)
     std::uint64_t shedExpired = 0;  //!< dropped at batch formation (SLO)
     std::uint64_t degraded = 0;     //!< served with degraded knobs
     std::uint64_t batches = 0;      //!< kernel launches
+    std::uint64_t cacheHits = 0;    //!< answered without a launch
     Cycle lastCompletionCycle = 0;  //!< simulated makespan
 
     Histogram latencyCycles;   //!< arrival -> completion, per request
     Histogram queueWaitCycles; //!< arrival -> dispatch, per request
     Histogram batchSize;       //!< requests per launch
+
+    /** Memory-system sums over every batch simulation (pipeline
+     *  SimTotals; deterministic resolve-order accumulation). */
+    std::uint64_t kernelCycles = 0; //!< summed batch kernel cycles
+    std::uint64_t smCycles = 0;     //!< kernel cycles x numSms
+    double l1Accesses = 0;
+    double l1Misses = 0;
+    double rtuBusyCycles = 0;       //!< 0 on the non-RT baseline
 
     /** Fraction of offered requests dropped (either shed path). */
     double
@@ -115,6 +116,32 @@ struct ServeReport
     latencyUs(double p) const
     {
         return latencyCycles.percentile(p) / kClockHz * 1.0e6;
+    }
+
+    /** L1 hit rate over every batch simulation (the query-coherence
+     *  policy's target metric). */
+    double
+    l1HitRate() const
+    {
+        return l1Accesses > 0 ? 1.0 - l1Misses / l1Accesses : 0.0;
+    }
+
+    /** RT-unit busy fraction of the SM-cycle budget — how occupied
+     *  the warp buffers were while the server ran batches. */
+    double
+    warpBufferResidency() const
+    {
+        return smCycles ? rtuBusyCycles / static_cast<double>(smCycles)
+                        : 0.0;
+    }
+
+    /** Answer-cache hit rate over the offered stream. */
+    double
+    cacheHitRate() const
+    {
+        return offered ? static_cast<double>(cacheHits) /
+                             static_cast<double>(offered)
+                       : 0.0;
     }
 };
 

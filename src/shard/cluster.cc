@@ -2,14 +2,11 @@
 
 #include <algorithm>
 #include <deque>
-#include <future>
 #include <map>
 
 #include "common/logging.hh"
 #include "common/threadpool.hh"
-#include "serve/batcher.hh"
 #include "shard/shard_index.hh"
-#include "sim/gpu.hh"
 
 namespace hsu::shard
 {
@@ -17,27 +14,32 @@ namespace hsu::shard
 namespace
 {
 
-/** One (shard, replica) lane: a batcher plus one simulated GPU. */
+/** One (shard, replica) lane: the shared scheduling pipeline plus one
+ *  simulated GPU instance (serve/pipeline), bound to the shard's
+ *  sub-index through its trace emitter. */
 struct Lane
 {
-    unsigned shard = 0;
-    serve::DynamicBatcher batcher;
-    bool busy = false;
-    bool resolved = false; //!< completion cycle known
-    Cycle dispatchCycle = 0;
-    Cycle readyCycle = 0; //!< valid when resolved
-    std::future<std::uint64_t> pendingCycles;
-    std::vector<serve::Request> batch;
-    bool degradedBatch = false;
+    unsigned shard;
+    serve::QueryPipeline pipe;
+    serve::BatchExecutor exec;
 
-    explicit Lane(const serve::BatchPolicy &policy) : batcher(policy) {}
+    Lane(unsigned shard_idx, const serve::PipelineConfig &pipeline,
+         Algo algo, DatasetId dataset, std::size_t pool_size,
+         const GpuConfig &gpu, Cycle launch_overhead,
+         serve::BatchTraceEmitter emitter)
+        : shard(shard_idx), pipe(pipeline, algo, dataset, pool_size),
+          exec(gpu, launch_overhead, pipeline.degrade.degradedKnobs,
+               std::move(emitter))
+    {
+    }
 
     /** Queued plus in-flight sub-queries (the LeastOutstanding load
      *  signal). */
     std::size_t
     outstanding() const
     {
-        return batcher.pending() + (busy ? batch.size() : 0);
+        return pipe.pending() +
+               (exec.busy() ? exec.batch().size() : 0);
     }
 };
 
@@ -53,10 +55,12 @@ struct ScatterMsg
 struct Join
 {
     Cycle arrivalCycle = 0;
+    std::uint32_t queryId = 0;   //!< for the router answer cache
     std::uint32_t remaining = 0; //!< sub-queries not yet resolved
     std::uint32_t served = 0;
     std::uint32_t shed = 0;
-    Cycle readyMax = 0; //!< latest gathered sub-answer
+    bool degraded = false;       //!< any sub-answer ran degraded
+    Cycle readyMax = 0;          //!< latest gathered sub-answer
 };
 
 } // namespace
@@ -83,7 +87,7 @@ ClusterServer::ClusterServer(Algo algo, DatasetId dataset,
         hsu_fatal("cluster needs at least one replica per shard");
     if (cfg_.queryPoolSize == 0)
         hsu_fatal("cluster needs a non-empty query pool");
-    if (cfg_.degrade.shedWater == 0)
+    if (cfg_.pipeline.degrade.shedWater == 0)
         hsu_fatal("shedWater 0 would shed every sub-query");
 }
 
@@ -99,13 +103,31 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
     const Cycle gatherHop = cfg_.link.hopCycles(cfg_.gatherBytes);
 
     ThreadPool pool(cfg_.jobs);
+
+    // The answer cache sits at the router; lane pipelines run with
+    // caching off so one request is cached once, not per shard.
+    serve::PipelineConfig laneCfg = cfg_.pipeline;
+    laneCfg.cache.capacity = 0;
+    serve::AnswerCache cache(cfg_.pipeline.cache, algo_, dataset_,
+                             cfg_.queryPoolSize);
+
     std::vector<Lane> lanes;
     lanes.reserve(static_cast<std::size_t>(cfg_.numShards) *
                   cfg_.replicasPerShard);
     for (unsigned s = 0; s < cfg_.numShards; ++s) {
+        const ShardKey key{dataset_, cfg_.partition, cfg_.numShards, s};
+        const serve::BatchTraceEmitter emitter =
+            [algo = algo_, key, variant, dp = cfg_.gpu.datapath,
+             pool_size = cfg_.queryPoolSize](
+                const std::vector<std::uint32_t> &ids,
+                const ServeKnobs &knobs) {
+                return emitShardBatchTrace(algo, key, variant, dp,
+                                           ids, pool_size, knobs);
+            };
         for (unsigned r = 0; r < cfg_.replicasPerShard; ++r) {
-            lanes.emplace_back(cfg_.batch);
-            lanes.back().shard = s;
+            lanes.emplace_back(s, laneCfg, algo_, dataset_,
+                               cfg_.queryPoolSize, cfg_.gpu,
+                               cfg_.launchOverheadCycles, emitter);
         }
     }
     std::vector<std::size_t> rrNext(cfg_.numShards, 0);
@@ -113,6 +135,7 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
     ClusterReport report;
     report.offered = requests.size();
     report.shards.resize(cfg_.numShards);
+    serve::SimTotals totals;
 
     std::deque<ScatterMsg> scatter;
     std::map<std::uint64_t, Join> inflight;
@@ -121,37 +144,44 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
 
     auto any_busy = [&] {
         return std::any_of(lanes.begin(), lanes.end(),
-                           [](const Lane &l) { return l.busy; });
+                           [](const Lane &l) { return l.exec.busy(); });
     };
     auto any_pending = [&] {
         return std::any_of(lanes.begin(), lanes.end(),
                            [](const Lane &l) {
-                               return l.batcher.pending() > 0;
+                               return l.pipe.pending() > 0;
                            });
+    };
+
+    // One request completes: count it and update the latency tallies.
+    auto complete = [&](Cycle arrival, Cycle done) {
+        report.completed += 1;
+        report.latencyCycles.add(static_cast<double>(done - arrival));
+        report.lastCompletionCycle =
+            std::max(report.lastCompletionCycle, done);
     };
 
     // Resolve one request's join once its last sub-query lands. The
     // merge is charged per contributing shard answer; a request whose
-    // every sub-query was shed never produced an answer.
+    // every sub-query was shed never produced an answer. Full answers
+    // fill the router cache (degraded ones only when configured).
     auto finalize = [&](const Join &join) {
         if (join.served == 0) {
             report.shedRequests += 1;
             return;
         }
-        const Cycle done =
-            join.readyMax +
-            cfg_.mergeCyclesPerShard * static_cast<Cycle>(join.served);
-        report.completed += 1;
-        if (join.shed > 0)
+        if (join.shed > 0) {
             report.partialAnswers += 1;
-        report.latencyCycles.add(
-            static_cast<double>(done - join.arrivalCycle));
-        report.lastCompletionCycle =
-            std::max(report.lastCompletionCycle, done);
+        } else if (!join.degraded || cfg_.pipeline.cache.cacheDegraded) {
+            cache.insert(join.queryId);
+        }
+        complete(join.arrivalCycle,
+                 join.readyMax + cfg_.mergeCyclesPerShard *
+                                     static_cast<Cycle>(join.served));
     };
 
     auto subquery_resolved = [&](std::uint64_t id, bool served,
-                                 Cycle ready) {
+                                 Cycle ready, bool degraded) {
         const auto it = inflight.find(id);
         hsu_assert(it != inflight.end(),
                    "sub-query resolved for unknown request ", id);
@@ -160,6 +190,7 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
         join.remaining -= 1;
         if (served) {
             join.served += 1;
+            join.degraded = join.degraded || degraded;
             join.readyMax = std::max(join.readyMax, ready);
         } else {
             join.shed += 1;
@@ -170,97 +201,40 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
         }
     };
 
-    // Submit one shard batch simulation to the worker pool — a pure
-    // function of (shard key, batch contents, knobs, config), so the
-    // cycle count is identical no matter which worker runs it.
-    auto dispatch = [&](Lane &lane, std::vector<serve::Request> batch,
-                        bool degraded) {
-        std::vector<std::uint32_t> ids;
-        ids.reserve(batch.size());
-        for (const serve::Request &r : batch)
-            ids.push_back(r.queryId);
-        const ServeKnobs knobs =
-            degraded ? cfg_.degrade.degradedKnobs : ServeKnobs{};
-        const ShardKey key{dataset_, cfg_.partition, cfg_.numShards,
-                           lane.shard};
-        const GpuConfig gpu = cfg_.gpu;
-        const Algo algo = algo_;
-        const std::uint32_t pool_size = cfg_.queryPoolSize;
-        lane.pendingCycles = pool.submit(
-            [gpu, algo, key, variant, ids, pool_size, knobs]() {
-                const std::shared_ptr<const KernelTrace> trace =
-                    emitShardBatchTrace(algo, key, variant,
-                                        gpu.datapath, ids, pool_size,
-                                        knobs);
-                StatGroup stats;
-                return simulateKernel(gpu, trace, stats).cycles;
-            });
-        lane.busy = true;
-        lane.resolved = false;
-        lane.dispatchCycle = now;
-        lane.batch = std::move(batch);
-        lane.degradedBatch = degraded;
-    };
-
     // Fill every idle lane that has a ready batch. All sims dispatched
     // here are submitted before anything blocks on them, so
     // concurrently-busy lanes really simulate concurrently.
     auto dispatch_ready = [&] {
         for (Lane &lane : lanes) {
-            if (lane.busy || !lane.batcher.batchReady(now))
+            if (lane.exec.busy() || !lane.pipe.batchReady(now))
                 continue;
-            ShardReport &shard = report.shards[lane.shard];
-            const bool degraded =
-                lane.batcher.pending() >= cfg_.degrade.highWater;
-            std::vector<serve::Request> expired;
-            std::vector<serve::Request> batch =
-                lane.batcher.popBatch(now, expired);
-            shard.shedExpired += expired.size();
-            for (const serve::Request &r : expired)
-                subquery_resolved(r.id, false, 0);
-            if (batch.empty())
+            serve::FormedBatch formed = lane.pipe.formBatch(
+                now, report.shards[lane.shard].queueWaitCycles,
+                report.batchSize);
+            for (const serve::Request &r : formed.expired)
+                subquery_resolved(r.id, false, 0, false);
+            if (formed.requests.empty())
                 continue; // everything pending had expired
-            shard.batches += 1;
-            report.batchSize.add(static_cast<double>(batch.size()));
-            if (degraded)
-                shard.degraded += batch.size();
-            for (const serve::Request &r : batch) {
-                shard.queueWaitCycles.add(
-                    static_cast<double>(now - r.arrivalCycle));
-            }
-            dispatch(lane, std::move(batch), degraded);
+            lane.exec.dispatch(pool, now, std::move(formed));
         }
     };
 
     // Resolve in-flight completion times, in lane order: blocking on
     // the first future lets the rest keep running in the pool.
     auto resolve_busy = [&] {
-        for (Lane &lane : lanes) {
-            if (!lane.busy || lane.resolved)
-                continue;
-            const std::uint64_t kernel_cycles =
-                lane.pendingCycles.get();
-            lane.readyCycle = lane.dispatchCycle +
-                              cfg_.launchOverheadCycles +
-                              kernel_cycles;
-            lane.resolved = true;
-        }
+        for (Lane &lane : lanes)
+            lane.exec.resolve(totals);
     };
 
-    // Deliver one sub-query to its lane, shedding when the lane's
-    // queue is at the watermark (the single server's admission check,
-    // applied per shard replica).
+    // Deliver one sub-query to its lane; the lane pipeline applies the
+    // single server's admission shedding per shard replica.
     auto deliver = [&](const ScatterMsg &msg) {
         Lane &lane = lanes[msg.lane];
         report.shards[lane.shard].subqueries += 1;
-        if (lane.batcher.pending() >= cfg_.degrade.shedWater) {
-            report.shards[lane.shard].shedAdmission += 1;
-            subquery_resolved(msg.req.id, false, 0);
-            return;
-        }
         serve::Request sub = msg.req;
         sub.arrivalCycle = msg.deliverCycle;
-        lane.batcher.push(sub);
+        if (lane.pipe.admit(sub) == serve::Admission::Shed)
+            subquery_resolved(msg.req.id, false, 0, false);
     };
 
     while (nextArrival < requests.size() || !scatter.empty() ||
@@ -281,10 +255,10 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
         if (!scatter.empty())
             next = std::min(next, scatter.front().deliverCycle);
         for (const Lane &lane : lanes) {
-            if (lane.busy)
-                next = std::min(next, lane.readyCycle);
+            if (lane.exec.busy())
+                next = std::min(next, lane.exec.readyCycle());
             else
-                next = std::min(next, lane.batcher.nextForceCycle());
+                next = std::min(next, lane.pipe.nextForceCycle());
         }
         hsu_assert(next != kNeverCycle, "cluster wedged at cycle ",
                    now);
@@ -294,14 +268,14 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
         // order for a deterministic join/histogram fill. Each
         // sub-answer crosses the gather hop before it can merge.
         for (Lane &lane : lanes) {
-            if (!lane.busy || lane.readyCycle > now)
+            if (!lane.exec.busy() || lane.exec.readyCycle() > now)
                 continue;
-            for (const serve::Request &r : lane.batch) {
+            for (const serve::Request &r : lane.exec.batch()) {
                 subquery_resolved(r.id, true,
-                                  lane.readyCycle + gatherHop);
+                                  lane.exec.readyCycle() + gatherHop,
+                                  lane.exec.degraded());
             }
-            lane.busy = false;
-            lane.batch.clear();
+            lane.exec.finish();
         }
 
         // Scatter messages that have crossed the link by now, in send
@@ -312,15 +286,21 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
             scatter.pop_front();
         }
 
-        // Then admissions up to the current cycle: route, pick a
-        // replica per target shard, and put the sub-queries on the
-        // wire (zero-latency links deliver inline, preserving the
-        // single-server admission order).
+        // Then admissions up to the current cycle: probe the router
+        // cache, else route, pick a replica per target shard, and put
+        // the sub-queries on the wire (zero-latency links deliver
+        // inline, preserving the single-server admission order).
         while (nextArrival < requests.size() &&
                requests[nextArrival].arrivalCycle <= now) {
             const serve::Request &req = requests[nextArrival++];
             hsu_assert(req.queryId < cfg_.queryPoolSize,
                        "request query id outside the serving pool");
+            if (cache.lookup(req.queryId)) {
+                complete(req.arrivalCycle,
+                         req.arrivalCycle +
+                             cfg_.pipeline.cache.hitLatencyCycles);
+                continue;
+            }
             const std::vector<std::uint32_t> targets = routeQuery(
                 algo_, part, req.queryId, cfg_.queryPoolSize);
             report.fanout.add(static_cast<double>(targets.size()));
@@ -328,23 +308,19 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
             if (targets.empty()) {
                 // Provably-empty answer (key in no shard's range /
                 // radius reaching no shard): answered at the router.
-                report.completed += 1;
-                report.latencyCycles.add(0.0);
-                report.lastCompletionCycle = std::max(
-                    report.lastCompletionCycle, req.arrivalCycle);
+                complete(req.arrivalCycle, req.arrivalCycle);
                 continue;
             }
             Join join;
             join.arrivalCycle = req.arrivalCycle;
+            join.queryId = req.queryId;
             join.remaining =
                 static_cast<std::uint32_t>(targets.size());
-            const auto [it, fresh] = inflight.emplace(req.id, join);
-            hsu_assert(fresh, "duplicate request id ", req.id);
-            (void)it;
+            hsu_assert(inflight.emplace(req.id, join).second,
+                       "duplicate request id ", req.id);
             for (const std::uint32_t s : targets) {
                 std::size_t lane_idx =
-                    static_cast<std::size_t>(s) *
-                    cfg_.replicasPerShard;
+                    std::size_t{s} * cfg_.replicasPerShard;
                 if (cfg_.balance == LoadBalance::RoundRobin) {
                     lane_idx += rrNext[s];
                     rrNext[s] =
@@ -374,6 +350,23 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
     hsu_assert(report.completed + report.shedRequests ==
                    report.offered,
                "request accounting does not balance");
+
+    // Scheduling counters live in the lane pipelines; fold them into
+    // the per-shard slices (u64 sums, order-independent).
+    for (const Lane &lane : lanes) {
+        ShardReport &shard = report.shards[lane.shard];
+        const serve::PipelineStats &sched = lane.pipe.stats();
+        shard.batches += sched.batches;
+        shard.shedAdmission += sched.shedAdmission;
+        shard.shedExpired += sched.shedExpired;
+        shard.degraded += sched.degraded;
+    }
+    report.cacheHits = cache.hits();
+    report.kernelCycles = totals.kernelCycles;
+    report.smCycles = totals.smCycles;
+    report.l1Accesses = totals.l1Accesses;
+    report.l1Misses = totals.l1Misses;
+    report.rtuBusyCycles = totals.rtuBusyCycles;
 
     // Cluster-level queue-wait percentiles: log-bucket-aligned merge
     // of the per-shard histograms (common/stats Histogram::merge).

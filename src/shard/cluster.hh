@@ -12,10 +12,17 @@
  * (shard/merge — the timing model charges the merge, the answer layer
  * shard/answers pins its value).
  *
- * Every (shard, replica) lane owns a dynamic batcher and one simulated
- * GPU instance running batches against the shard's sub-index
- * (shard/shard_index), with the same admission shedding / degraded
- * knobs / deadline expiry as the single server. Scatter and gather
+ * Every (shard, replica) lane composes the same serve::QueryPipeline +
+ * serve::BatchExecutor pair as the single server (serve/pipeline), so
+ * admission shedding, degraded knobs, deadline expiry, and the
+ * batch-ordering policy are one implementation, not two. Lane
+ * pipelines run with their answer cache disabled; the cluster instead
+ * keeps ONE router-level answer cache in front of routing — a hit
+ * answers the whole request before it scatters (the merged answer is
+ * what the cache conceptually holds; only full, non-partial answers
+ * fill it). With the Coherent policy each lane sorts its OWN formed
+ * batches after routing, so per-shard batches stay Morton-compact even
+ * though the router splits the stream. Scatter and gather
  * hops cross an interconnect with a fixed-latency + bandwidth link
  * model; a request completes when its last surviving sub-query's
  * result has crossed back and merged:
@@ -84,9 +91,10 @@ struct ClusterConfig
     unsigned numShards = 2;
     unsigned replicasPerShard = 1;
     LoadBalance balance = LoadBalance::RoundRobin;
-    serve::BatchPolicy batch;
-    /** Per-lane admission/degradation watermarks (serve semantics). */
-    serve::DegradePolicy degrade;
+    /** Scheduling stages, applied per lane (serve semantics). The
+     *  cache member configures the ROUTER-level answer cache; lane
+     *  pipelines always run with caching disabled. */
+    serve::PipelineConfig pipeline;
     std::uint32_t queryPoolSize = 1024;
     Cycle launchOverheadCycles = 1'000;
     /** Scatter/gather interconnect. Defaults to a zero-cost link so a
@@ -122,6 +130,9 @@ struct ClusterReport
     /** Every routed sub-query shed: no answer at all. */
     std::uint64_t shedRequests = 0;
     std::uint64_t subqueries = 0; //!< total scatter fan-out
+    /** Answered by the router cache (never routed; counted in
+     *  completed, not in fanout/subqueries). */
+    std::uint64_t cacheHits = 0;
     Cycle lastCompletionCycle = 0;
 
     Histogram latencyCycles; //!< arrival -> merged, per request
@@ -132,6 +143,14 @@ struct ClusterReport
     Histogram queueWaitCycles;
 
     std::vector<ShardReport> shards;
+
+    /** Memory-system sums over every lane batch simulation
+     *  (serve::SimTotals; deterministic resolve-order accumulation). */
+    std::uint64_t kernelCycles = 0; //!< summed batch kernel cycles
+    std::uint64_t smCycles = 0;     //!< kernel cycles x numSms
+    double l1Accesses = 0;
+    double l1Misses = 0;
+    double rtuBusyCycles = 0;       //!< 0 on the non-RT baseline
 
     double
     achievedQps() const
@@ -155,6 +174,30 @@ struct ClusterReport
     {
         return offered ? static_cast<double>(partialAnswers +
                                              shedRequests) /
+                             static_cast<double>(offered)
+                       : 0.0;
+    }
+
+    /** L1 hit rate over every lane batch simulation. */
+    double
+    l1HitRate() const
+    {
+        return l1Accesses > 0 ? 1.0 - l1Misses / l1Accesses : 0.0;
+    }
+
+    /** RT-unit busy fraction of the cluster's SM-cycle budget. */
+    double
+    warpBufferResidency() const
+    {
+        return smCycles ? rtuBusyCycles / static_cast<double>(smCycles)
+                        : 0.0;
+    }
+
+    /** Router answer-cache hit rate over the offered stream. */
+    double
+    cacheHitRate() const
+    {
+        return offered ? static_cast<double>(cacheHits) /
                              static_cast<double>(offered)
                        : 0.0;
     }

@@ -138,6 +138,24 @@ TEST(ArgParser, EnvOptDefaultOverrideAndWriteBack)
     EXPECT_EQ(std::string(after), "8");
 }
 
+TEST(ArgParser, EnvStringOptDefaultOverrideAndWriteBack)
+{
+    ScopedEnv env("HSU_TEST_ARGPARSE_P", "coherent");
+    ArgParser args("t", "d");
+    std::string policy = "fifo";
+    args.envOpt(policy, "policy", "HSU_TEST_ARGPARSE_P", "batch order");
+    EXPECT_TRUE(parseArgs(args, {}));
+    EXPECT_EQ(policy, "coherent");
+
+    ArgParser args2("t", "d");
+    args2.envOpt(policy, "policy", "HSU_TEST_ARGPARSE_P", "batch order");
+    EXPECT_TRUE(parseArgs(args2, {"--policy=fifo"}));
+    EXPECT_EQ(policy, "fifo");
+    const char *after = getenv("HSU_TEST_ARGPARSE_P");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(std::string(after), "fifo");
+}
+
 TEST(ArgParser, HelpReturnsFalseWithExitZero)
 {
     ArgParser args("t", "d");

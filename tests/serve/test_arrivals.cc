@@ -174,5 +174,69 @@ TEST(Arrivals, BurstyGapsAreOverdispersed)
     EXPECT_GT(gap_cv(bursty), gap_cv(poisson) * 1.1);
 }
 
+TEST(Arrivals, ZipfDeterministicWithPinnedSeed)
+{
+    ArrivalConfig cfg;
+    cfg.ratePerCycle = 1.0e-4;
+    cfg.queryDist = QueryDist::Zipf;
+    cfg.zipfExponent = 1.0;
+    cfg.seed = 42;
+    ArrivalGenerator a(cfg, Algo::Ggnn, DatasetId::Sift10k);
+    ArrivalGenerator b(cfg, Algo::Ggnn, DatasetId::Sift10k);
+    const auto sa = a.generate(256);
+    const auto sb = b.generate(256);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (std::size_t i = 0; i < sa.size(); ++i)
+        EXPECT_TRUE(sameRequest(sa[i], sb[i])) << "request " << i;
+}
+
+TEST(Arrivals, ZipfPreservesMeanRate)
+{
+    // The popularity distribution picks WHICH query, never WHEN: the
+    // timing process must deliver the same mean rate under Zipf.
+    ArrivalConfig cfg;
+    cfg.ratePerCycle = 1.0e-3; // mean gap 1000 cycles
+    cfg.queryDist = QueryDist::Zipf;
+    cfg.zipfExponent = 1.2;
+    cfg.seed = 11;
+    const auto stream =
+        ArrivalGenerator(cfg, Algo::Ggnn, DatasetId::Sift10k)
+            .generate(4000);
+    const double mean_gap =
+        static_cast<double>(stream.back().arrivalCycle) /
+        static_cast<double>(stream.size());
+    EXPECT_NEAR(mean_gap, 1000.0, 100.0); // ~6 sigma for n=4000
+}
+
+TEST(Arrivals, ZipfSkewsTowardLowIds)
+{
+    ArrivalConfig cfg;
+    cfg.ratePerCycle = 1.0e-4;
+    cfg.queryPoolSize = 256;
+    cfg.seed = 19;
+    const auto uniform =
+        ArrivalGenerator(cfg, Algo::Btree, DatasetId::BTree10k)
+            .generate(8000);
+    cfg.queryDist = QueryDist::Zipf;
+    cfg.zipfExponent = 1.0;
+    const auto zipf =
+        ArrivalGenerator(cfg, Algo::Btree, DatasetId::BTree10k)
+            .generate(8000);
+
+    auto head_share = [](const std::vector<Request> &s) {
+        std::size_t head = 0;
+        for (const Request &r : s)
+            head += r.queryId < 8 ? 1 : 0;
+        return static_cast<double>(head) /
+               static_cast<double>(s.size());
+    };
+    // Rank == id: the 8 most popular queries carry far more of a Zipf
+    // stream than their 8/256 uniform share.
+    EXPECT_LT(head_share(uniform), 0.07);
+    EXPECT_GT(head_share(zipf), 3.0 * head_share(uniform));
+    for (const Request &r : zipf)
+        EXPECT_LT(r.queryId, cfg.queryPoolSize);
+}
+
 } // namespace
 } // namespace hsu::serve

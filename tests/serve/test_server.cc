@@ -22,8 +22,8 @@ smallConfig(unsigned instances = 2)
     cfg.gpu.numSms = 2;
     cfg.gpu.finalize();
     cfg.numInstances = instances;
-    cfg.batch.maxBatch = 8;
-    cfg.batch.maxWaitCycles = 20'000;
+    cfg.pipeline.batch.maxBatch = 8;
+    cfg.pipeline.batch.maxWaitCycles = 20'000;
     cfg.queryPoolSize = 64;
     return cfg;
 }
@@ -105,8 +105,8 @@ TEST(Server, OverloadShedsAtHighWater)
 {
     // Arrivals far faster than service; tiny shed threshold.
     ServerConfig cfg = smallConfig(1);
-    cfg.degrade.shedWater = 16;
-    cfg.degrade.highWater = 8;
+    cfg.pipeline.degrade.shedWater = 16;
+    cfg.pipeline.degrade.highWater = 8;
     const auto reqs =
         stream(Algo::Btree, DatasetId::BTree10k, 1.0e-2, 128);
     Server server(Algo::Btree, DatasetId::BTree10k, cfg);
@@ -118,7 +118,7 @@ TEST(Server, OverloadShedsAtHighWater)
     // The queue bound keeps batches full once saturated.
     EXPECT_GT(rep.batchSize.max(), 0.0);
     EXPECT_LE(rep.batchSize.max(),
-              static_cast<double>(cfg.batch.maxBatch));
+              static_cast<double>(cfg.pipeline.batch.maxBatch));
 }
 
 TEST(Server, DeadlineShedsExpiredRequests)
@@ -126,7 +126,7 @@ TEST(Server, DeadlineShedsExpiredRequests)
     // Overload + a deadline shorter than the queueing delay: requests
     // expire in queue and are dropped at batch formation.
     ServerConfig cfg = smallConfig(1);
-    cfg.degrade.shedWater = 1'000'000; // admission never sheds
+    cfg.pipeline.degrade.shedWater = 1'000'000; // admission never sheds
     const auto reqs = stream(Algo::Btree, DatasetId::BTree10k, 1.0e-2,
                              128, /*deadline=*/5'000);
     Server server(Algo::Btree, DatasetId::BTree10k, cfg);
@@ -140,9 +140,9 @@ TEST(Server, DeadlineShedsExpiredRequests)
 TEST(Server, GgnnDegradesUnderPressure)
 {
     ServerConfig cfg = smallConfig(1);
-    cfg.degrade.highWater = 4;
-    cfg.degrade.shedWater = 1'000'000;
-    cfg.degrade.degradedKnobs = ServeKnobs{8, 4};
+    cfg.pipeline.degrade.highWater = 4;
+    cfg.pipeline.degrade.shedWater = 1'000'000;
+    cfg.pipeline.degrade.degradedKnobs = ServeKnobs{8, 4};
     const auto reqs =
         stream(Algo::Ggnn, DatasetId::Sift10k, 5.0e-3, 48);
     Server server(Algo::Ggnn, DatasetId::Sift10k, cfg);
@@ -170,7 +170,7 @@ TEST(Server, SaturationRaisesTailLatency)
     // Light load's p99 is bounded by batching wait + service, not by
     // queueing: it must stay under maxWait + a small service allowance.
     EXPECT_LT(light.latencyCycles.percentile(99.0),
-              static_cast<double>(cfg.batch.maxWaitCycles) + 50'000.0);
+              static_cast<double>(cfg.pipeline.batch.maxWaitCycles) + 50'000.0);
 }
 
 } // namespace

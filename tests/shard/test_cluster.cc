@@ -35,8 +35,8 @@ smallCluster(unsigned shards, unsigned replicas)
     cfg.gpu.finalize();
     cfg.numShards = shards;
     cfg.replicasPerShard = replicas;
-    cfg.batch.maxBatch = 8;
-    cfg.batch.maxWaitCycles = 20'000;
+    cfg.pipeline.batch.maxBatch = 8;
+    cfg.pipeline.batch.maxWaitCycles = 20'000;
     cfg.queryPoolSize = kPool;
     return cfg;
 }
@@ -94,8 +94,8 @@ TEST(Cluster, OneByOneMatchesSingleServer)
     scfg.gpu.numSms = 2;
     scfg.gpu.finalize();
     scfg.numInstances = 1;
-    scfg.batch.maxBatch = 8;
-    scfg.batch.maxWaitCycles = 20'000;
+    scfg.pipeline.batch.maxBatch = 8;
+    scfg.pipeline.batch.maxWaitCycles = 20'000;
     scfg.queryPoolSize = kPool;
     Server server(Algo::Btree, DatasetId::BTree10k, scfg);
     const ServeReport single = server.run(reqs);
@@ -201,8 +201,8 @@ TEST(Cluster, HotShardSheddingBalances)
     // a request with every sub-query shed is reported shed, one with
     // some answers is a partial completion.
     ClusterConfig cfg = smallCluster(4, 1);
-    cfg.degrade.shedWater = 4;
-    cfg.degrade.highWater = 2;
+    cfg.pipeline.degrade.shedWater = 4;
+    cfg.pipeline.degrade.highWater = 2;
     const auto reqs =
         stream(Algo::Bvhnn, DatasetId::Random10k, 1.0e-2, 128);
     ClusterServer cluster(Algo::Bvhnn, DatasetId::Random10k, cfg);
@@ -221,9 +221,9 @@ TEST(Cluster, ReplicasAbsorbLoad)
     // Same overload, 1 vs 2 replicas per shard: the extra replica
     // strictly reduces admission shedding.
     ClusterConfig one = smallCluster(2, 1);
-    one.degrade.shedWater = 4;
+    one.pipeline.degrade.shedWater = 4;
     ClusterConfig two = smallCluster(2, 2);
-    two.degrade.shedWater = 4;
+    two.pipeline.degrade.shedWater = 4;
     const auto reqs =
         stream(Algo::Btree, DatasetId::BTree10k, 5.0e-2, 128);
 
@@ -278,7 +278,7 @@ TEST(Cluster, LinkLatencyShiftsLatencyDistribution)
 TEST(Cluster, DeadlineExpiryResolvesJoins)
 {
     ClusterConfig cfg = smallCluster(2, 1);
-    cfg.degrade.shedWater = 1'000'000;
+    cfg.pipeline.degrade.shedWater = 1'000'000;
     const auto reqs = stream(Algo::Btree, DatasetId::BTree10k, 1.0e-2,
                              128, /*deadline=*/5'000);
     ClusterServer cluster(Algo::Btree, DatasetId::BTree10k, cfg);
@@ -289,6 +289,66 @@ TEST(Cluster, DeadlineExpiryResolvesJoins)
         expired += s.shedExpired;
     EXPECT_GT(expired, 0u);
     EXPECT_EQ(rep.completed + rep.shedRequests, rep.offered);
+}
+
+TEST(Cluster, CoherentPolicyBitIdenticalAcrossJobsAndSimJobs)
+{
+    // The coherence sort happens per-lane AFTER routing, on data that
+    // is a pure function of the batch contents — so the report must
+    // stay bit-identical whatever HSU_JOBS / HSU_SIM_JOBS say.
+    const auto reqs =
+        stream(Algo::Bvhnn, DatasetId::Random10k, 1.0e-3, 96);
+    ClusterConfig cfg = smallCluster(2, 2);
+    cfg.pipeline.policy = serve::BatchPolicyKind::Coherent;
+    cfg.link.latencyCycles = 500;
+    cfg.mergeCyclesPerShard = 100;
+    cfg.jobs = 1;
+    cfg.gpu.simJobs = 1;
+    const ClusterReport r1 =
+        ClusterServer(Algo::Bvhnn, DatasetId::Random10k, cfg)
+            .run(reqs);
+    cfg.jobs = 4;
+    cfg.gpu.simJobs = 4;
+    ClusterServer parallel(Algo::Bvhnn, DatasetId::Random10k, cfg);
+    const ClusterReport r4 = parallel.run(reqs);
+    expectSameReport(r1, r4);
+    expectSameReport(r4, parallel.run(reqs));
+}
+
+TEST(Cluster, RouterCacheAnswersRepeatQueries)
+{
+    // A router-level answer cache intercepts repeats of popular
+    // queries before they fan out: under a Zipf stream the cached
+    // cluster completes the same requests while issuing strictly
+    // fewer sub-queries.
+    ArrivalConfig arr;
+    arr.ratePerCycle = 1.0e-4;
+    arr.queryPoolSize = kPool;
+    arr.queryDist = serve::QueryDist::Zipf;
+    arr.zipfExponent = 1.2;
+    arr.seed = 33;
+    const auto reqs =
+        ArrivalGenerator(arr, Algo::Bvhnn, DatasetId::Random10k)
+            .generate(128);
+
+    ClusterConfig plain = smallCluster(2, 1);
+    const ClusterReport base =
+        ClusterServer(Algo::Bvhnn, DatasetId::Random10k, plain)
+            .run(reqs);
+    ClusterConfig cached = smallCluster(2, 1);
+    cached.pipeline.cache.capacity = 32;
+    const ClusterReport rep =
+        ClusterServer(Algo::Bvhnn, DatasetId::Random10k, cached)
+            .run(reqs);
+
+    EXPECT_GT(rep.cacheHits, 0u);
+    EXPECT_EQ(base.cacheHits, 0u);
+    // Light load: nothing sheds either way, so completions match.
+    EXPECT_EQ(rep.completed, base.completed);
+    EXPECT_EQ(rep.completed + rep.shedRequests, rep.offered);
+    // Hits never reach the shards.
+    EXPECT_LT(rep.subqueries, base.subqueries);
+    EXPECT_GT(rep.cacheHitRate(), 0.0);
 }
 
 } // namespace
