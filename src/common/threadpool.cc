@@ -12,6 +12,8 @@ namespace hsu
 unsigned
 defaultJobs()
 {
+    // The process-wide default that ArgParser::envOpt write-back sets;
+    // audit[env-read]: reading it here keeps library code CLI-free
     if (const char *env = std::getenv("HSU_JOBS")) {
         char *end = nullptr;
         const long v = std::strtol(env, &end, 10);

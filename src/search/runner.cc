@@ -108,6 +108,8 @@ optionsFor(const DatasetInfo &info, double scale)
 double
 quickScale()
 {
+    // ArgParser::envFlag("quick") writes HSU_QUICK back;
+    // audit[env-read]: downstream plumbing of the envFlag write-back
     const char *q = std::getenv("HSU_QUICK");
     return (q != nullptr && q[0] != '\0' && q[0] != '0') ? 0.25 : 1.0;
 }
@@ -341,6 +343,8 @@ struct KeyAssets
 std::string
 indexCacheFile(const std::string &stem)
 {
+    // Opt-in disk cache location; unset means "no cache".
+    // audit[env-read]: no CLI owns this library path
     const char *dir = std::getenv("HSU_INDEX_CACHE");
     if (dir == nullptr || dir[0] == '\0')
         return {};

@@ -20,13 +20,25 @@ toString(CacheMode mode)
 }
 
 AnswerCache::AnswerCache(const AnswerCacheConfig &cfg, Algo algo,
-                         DatasetId dataset, std::size_t pool_size)
-    : cfg_(cfg)
+                         DatasetId dataset, std::size_t pool_size,
+                         ScheduleRecorder recorder)
+    : cfg_(cfg), rec_(recorder)
 {
     exactOnly_ =
         cfg_.mode == CacheMode::Exact || algo == Algo::Btree;
     if (cfg_.enabled() && !exactOnly_)
         codes_ = &serveQueryCoherenceKeys(dataset, pool_size);
+    if (cfg_.enabled()) {
+        std::uint64_t flags = 0;
+        if (exactOnly_)
+            flags |= kCacheExactOnly;
+        if (algo == Algo::Btree)
+            flags |= kCacheBtree;
+        if (cfg_.mode == CacheMode::Tolerant)
+            flags |= kCacheTolerantMode;
+        rec_.record(0, ScheduleEventKind::CacheConfig, cfg_.capacity,
+                    flags, cfg_.hitLatencyCycles);
+    }
 }
 
 std::uint64_t
@@ -47,37 +59,44 @@ AnswerCache::touch(std::uint64_t key)
 }
 
 bool
-AnswerCache::lookup(std::uint32_t query_id)
+AnswerCache::lookup(std::uint32_t query_id, Cycle now)
 {
     if (!cfg_.enabled())
         return false;
     const std::uint64_t key = keyFor(query_id);
     if (map_.find(key) == map_.end()) {
         misses_ += 1;
+        rec_.record(now, ScheduleEventKind::CacheMiss, query_id, key);
         return false;
     }
     hits_ += 1;
     touch(key);
+    rec_.record(now, ScheduleEventKind::CacheHit, query_id, key);
     return true;
 }
 
 void
-AnswerCache::insert(std::uint32_t query_id)
+AnswerCache::insert(std::uint32_t query_id, Cycle now)
 {
     if (!cfg_.enabled())
         return;
     const std::uint64_t key = keyFor(query_id);
     if (map_.find(key) != map_.end()) {
         touch(key);
+        rec_.record(now, ScheduleEventKind::CacheInsert, query_id, key,
+                    1);
         return;
     }
     insertions_ += 1;
     lru_.push_front(key);
     map_.emplace(key, lru_.begin());
+    rec_.record(now, ScheduleEventKind::CacheInsert, query_id, key, 0);
     if (map_.size() > cfg_.capacity) {
         evictions_ += 1;
-        map_.erase(lru_.back());
+        const std::uint64_t victim = lru_.back();
+        map_.erase(victim);
         lru_.pop_back();
+        rec_.record(now, ScheduleEventKind::CacheEvict, victim);
     }
 }
 

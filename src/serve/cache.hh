@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/schedule_log.hh"
 #include "common/cycletime.hh"
 #include "search/runner.hh"
 
@@ -74,18 +75,20 @@ class AnswerCache
 {
   public:
     AnswerCache(const AnswerCacheConfig &cfg, Algo algo,
-                DatasetId dataset, std::size_t pool_size);
+                DatasetId dataset, std::size_t pool_size,
+                ScheduleRecorder recorder = {});
 
     /**
      * Probe for @p query_id's key: a hit refreshes its recency and
      * returns true. Counts one hit or miss; a disabled cache returns
-     * false without counting.
+     * false without counting. @p now stamps the schedule-log event.
      */
-    bool lookup(std::uint32_t query_id);
+    bool lookup(std::uint32_t query_id, Cycle now = 0);
 
     /** Record @p query_id's answer, evicting the LRU key at capacity.
-     *  Re-inserting a resident key only refreshes its recency. */
-    void insert(std::uint32_t query_id);
+     *  Re-inserting a resident key only refreshes its recency.
+     *  @p now stamps the schedule-log events. */
+    void insert(std::uint32_t query_id, Cycle now = 0);
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
@@ -102,6 +105,7 @@ class AnswerCache
     void touch(std::uint64_t key);
 
     AnswerCacheConfig cfg_;
+    ScheduleRecorder rec_;
     bool exactOnly_ = true; //!< Exact mode, or a Keys (B+tree) dataset
     /** Tolerant point queries: per-id coherence keys (borrowed from
      *  the process-wide memoized table; null when exactOnly_). */

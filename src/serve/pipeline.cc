@@ -7,30 +7,44 @@ namespace hsu::serve
 {
 
 QueryPipeline::QueryPipeline(const PipelineConfig &cfg, Algo algo,
-                             DatasetId dataset, std::size_t pool_size)
+                             DatasetId dataset, std::size_t pool_size,
+                             ScheduleRecorder recorder)
     : cfg_(cfg), dataset_(dataset), poolSize_(pool_size),
-      batcher_(cfg.batch), cache_(cfg.cache, algo, dataset, pool_size)
+      rec_(recorder), batcher_(cfg.batch),
+      cache_(cfg.cache, algo, dataset, pool_size, recorder)
 {
     if (cfg_.degrade.shedWater == 0)
         hsu_fatal("shedWater 0 would shed every request");
     if (pool_size == 0)
         hsu_fatal("pipeline needs a non-empty query pool");
+    rec_.record(0, ScheduleEventKind::PipelineConfig,
+                cfg_.degrade.highWater, cfg_.degrade.shedWater,
+                cfg_.batch.maxBatch);
 }
 
 Admission
 QueryPipeline::admit(const Request &req)
 {
-    if (cache_.lookup(req.queryId)) {
+    // Queue depth sampled once: both the shed decision and the
+    // schedule log's watermark evidence (SV004) use this value.
+    const std::uint64_t depth = batcher_.pending();
+    if (cache_.lookup(req.queryId, req.arrivalCycle)) {
         stats_.admitted += 1;
         stats_.cacheHits += 1;
+        rec_.record(req.arrivalCycle, ScheduleEventKind::Admit, req.id,
+                    req.queryId, kAdmitCacheHit | (depth << 2));
         return Admission::CacheHit;
     }
-    if (batcher_.pending() >= cfg_.degrade.shedWater) {
+    if (depth >= cfg_.degrade.shedWater) {
         stats_.shedAdmission += 1;
+        rec_.record(req.arrivalCycle, ScheduleEventKind::Admit, req.id,
+                    req.queryId, kAdmitShed | (depth << 2));
         return Admission::Shed;
     }
     stats_.admitted += 1;
     batcher_.push(req);
+    rec_.record(req.arrivalCycle, ScheduleEventKind::Admit, req.id,
+                req.queryId, kAdmitQueued | (depth << 2));
     return Admission::Queued;
 }
 
@@ -59,39 +73,54 @@ QueryPipeline::formBatch(Cycle now, Histogram &queue_wait,
     FormedBatch formed;
     // The degradation signal is the queue depth the batch was formed
     // under, sampled before the pop (pre-refactor server semantics).
-    formed.degraded = batcher_.pending() >= cfg_.degrade.highWater;
+    const std::uint64_t depth = batcher_.pending();
+    formed.degraded = depth >= cfg_.degrade.highWater;
     formed.requests = batcher_.popBatch(now, formed.expired);
     stats_.shedExpired += formed.expired.size();
+    for (const Request &r : formed.expired)
+        rec_.record(now, ScheduleEventKind::Expire, r.id,
+                    r.deadlineCycle);
     if (formed.requests.empty())
         return formed; // everything pending had expired
     stats_.batches += 1;
+    formed.seq = stats_.batches;
+    rec_.record(now, ScheduleEventKind::BatchSeal, formed.seq,
+                formed.requests.size(),
+                (formed.degraded ? 1u : 0u) | (depth << 1));
     batch_size.add(static_cast<double>(formed.requests.size()));
     if (formed.degraded)
         stats_.degraded += formed.requests.size();
     // Queue waits in FIFO pop order — the histogram's double-sum is
-    // order-sensitive and must not depend on the ordering policy.
-    for (const Request &r : formed.requests)
+    // order-sensitive and must not depend on the ordering policy. The
+    // seal-time membership is recorded in the same pre-policy order:
+    // SV002 checks the dispatch order against it.
+    for (const Request &r : formed.requests) {
         queue_wait.add(static_cast<double>(now - r.arrivalCycle));
+        rec_.record(now, ScheduleEventKind::SealMember, r.id,
+                    r.deadlineCycle, formed.seq);
+    }
     orderBatch(cfg_.policy, dataset_, poolSize_, formed.requests);
     return formed;
 }
 
 void
 QueryPipeline::recordServed(const std::vector<Request> &batch,
-                            bool degraded)
+                            bool degraded, Cycle now)
 {
     if (degraded && !cfg_.cache.cacheDegraded)
         return;
     for (const Request &r : batch)
-        cache_.insert(r.queryId);
+        cache_.insert(r.queryId, now);
 }
 
 BatchExecutor::BatchExecutor(const GpuConfig &gpu,
                              Cycle launch_overhead_cycles,
                              const ServeKnobs &degraded_knobs,
-                             BatchTraceEmitter emitter)
+                             BatchTraceEmitter emitter,
+                             ScheduleRecorder recorder)
     : gpu_(gpu), launchOverheadCycles_(launch_overhead_cycles),
-      degradedKnobs_(degraded_knobs), emitter_(std::move(emitter))
+      degradedKnobs_(degraded_knobs), emitter_(std::move(emitter)),
+      rec_(recorder)
 {
     hsu_assert(emitter_, "batch executor needs a trace emitter");
 }
@@ -128,8 +157,15 @@ BatchExecutor::dispatch(ThreadPool &pool, Cycle now,
     busy_ = true;
     resolved_ = false;
     dispatchCycle_ = now;
+    seq_ = formed.seq;
     batch_ = std::move(formed.requests);
     degraded_ = formed.degraded;
+    rec_.record(now, ScheduleEventKind::Dispatch, seq_, batch_.size(),
+                degraded_ ? 1 : 0);
+    // Launch-order membership (post-policy): SV002's permutation side.
+    for (const Request &r : batch_)
+        rec_.record(now, ScheduleEventKind::DispatchMember, r.id,
+                    r.queryId, seq_);
 }
 
 void
@@ -140,6 +176,8 @@ BatchExecutor::resolve(SimTotals &totals)
     const BatchSim sim = pendingSim_.get();
     readyCycle_ = dispatchCycle_ + launchOverheadCycles_ + sim.cycles;
     resolved_ = true;
+    rec_.record(readyCycle_, ScheduleEventKind::Resolve, seq_,
+                sim.cycles, readyCycle_);
     totals.kernelCycles += sim.cycles;
     totals.smCycles += sim.cycles * gpu_.numSms;
     totals.l1Accesses += sim.l1Accesses;

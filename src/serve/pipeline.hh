@@ -30,6 +30,11 @@
  * bit-identically (tests/serve/test_pipeline.cc pins golden reports).
  * Histogram fills (double sums, order-sensitive) go through
  * caller-owned sinks in FIFO pop order, BEFORE any policy reordering.
+ *
+ * Auditing: both pieces optionally record their decisions into a
+ * ScheduleLog (analysis/schedule_log) through a by-value
+ * ScheduleRecorder — a null-check no-op when no log is attached — for
+ * replay by the schedule linter (analysis/schedule_lint, SV rules).
  */
 
 #ifndef HSU_SERVE_PIPELINE_HH
@@ -41,6 +46,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/schedule_log.hh"
 #include "common/stats.hh"
 #include "common/threadpool.hh"
 #include "search/runner.hh"
@@ -106,6 +112,9 @@ struct FormedBatch
     std::vector<Request> expired;
     /** Formed under pressure: run with degraded knobs. */
     bool degraded = false;
+    /** Pipeline-unique batch sequence number (1-based; joins the
+     *  seal-time and dispatch-time schedule events). */
+    std::uint64_t seq = 0;
 };
 
 /**
@@ -116,7 +125,8 @@ class QueryPipeline
 {
   public:
     QueryPipeline(const PipelineConfig &cfg, Algo algo,
-                  DatasetId dataset, std::size_t pool_size);
+                  DatasetId dataset, std::size_t pool_size,
+                  ScheduleRecorder recorder = {});
 
     /**
      * Admit one request: cache probe first (a hit completes at
@@ -147,8 +157,10 @@ class QueryPipeline
                           Histogram &batch_size);
 
     /** Completion hook: fill the answer cache from a served batch
-     *  (degraded batches only when cache.cacheDegraded). */
-    void recordServed(const std::vector<Request> &batch, bool degraded);
+     *  (degraded batches only when cache.cacheDegraded). @p now is the
+     *  completion cycle (stamps the schedule log's insert events). */
+    void recordServed(const std::vector<Request> &batch, bool degraded,
+                      Cycle now = 0);
 
     const PipelineStats &stats() const { return stats_; }
     const AnswerCache &cache() const { return cache_; }
@@ -158,6 +170,7 @@ class QueryPipeline
     PipelineConfig cfg_;
     DatasetId dataset_;
     std::size_t poolSize_;
+    ScheduleRecorder rec_;
     DynamicBatcher batcher_;
     AnswerCache cache_;
     PipelineStats stats_;
@@ -205,7 +218,8 @@ class BatchExecutor
   public:
     BatchExecutor(const GpuConfig &gpu, Cycle launch_overhead_cycles,
                   const ServeKnobs &degraded_knobs,
-                  BatchTraceEmitter emitter);
+                  BatchTraceEmitter emitter,
+                  ScheduleRecorder recorder = {});
 
     /** Launch @p formed at @p now. @pre !busy(). */
     void dispatch(ThreadPool &pool, Cycle now, FormedBatch &&formed);
@@ -230,11 +244,13 @@ class BatchExecutor
     Cycle launchOverheadCycles_;
     ServeKnobs degradedKnobs_;
     BatchTraceEmitter emitter_;
+    ScheduleRecorder rec_;
 
     bool busy_ = false;
     bool resolved_ = false; //!< completion cycle known
     Cycle dispatchCycle_ = 0;
     Cycle readyCycle_ = 0;
+    std::uint64_t seq_ = 0; //!< in-flight batch's pipeline seq
     std::future<BatchSim> pendingSim_;
     std::vector<Request> batch_;
     bool degraded_ = false;

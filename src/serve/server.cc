@@ -26,8 +26,11 @@ Server::run(const std::vector<Request> &requests)
                                       ? KernelVariant::Hsu
                                       : KernelVariant::Baseline;
     ThreadPool pool(cfg_.jobs);
+    // Single-lane server: every schedule event records as lane 0, all
+    // from this event-loop thread (pool tasks never record).
+    const ScheduleRecorder rec(cfg_.scheduleLog, 0);
     QueryPipeline pipeline(cfg_.pipeline, algo_, dataset_,
-                           cfg_.queryPoolSize);
+                           cfg_.queryPoolSize, rec);
 
     // Every instance shares one emitter binding this workload's batch
     // traces — a pure, thread-safe function of (ids, knobs).
@@ -47,7 +50,7 @@ Server::run(const std::vector<Request> &requests)
     for (unsigned i = 0; i < cfg_.numInstances; ++i) {
         instances.emplace_back(cfg_.gpu, cfg_.launchOverheadCycles,
                                cfg_.pipeline.degrade.degradedKnobs,
-                               emitter);
+                               emitter, rec);
     }
 
     ServeReport report;
@@ -132,7 +135,8 @@ Server::run(const std::vector<Request> &requests)
             report.completed += inst.batch().size();
             report.lastCompletionCycle =
                 std::max(report.lastCompletionCycle, inst.readyCycle());
-            pipeline.recordServed(inst.batch(), inst.degraded());
+            pipeline.recordServed(inst.batch(), inst.degraded(),
+                                  inst.readyCycle());
             inst.finish();
         }
 

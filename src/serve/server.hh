@@ -64,6 +64,9 @@ struct ServerConfig
     Cycle launchOverheadCycles = 1'000;
     /** Simulation worker threads; 0 -> HSU_JOBS / hardware. */
     unsigned jobs = 0;
+    /** Optional schedule-audit sink (analysis/schedule_log); null
+     *  disables recording. The log must outlive the run. */
+    ScheduleLog *scheduleLog = nullptr;
 };
 
 /** Aggregate results of one open-loop serving run. */

@@ -26,10 +26,11 @@ struct Lane
     Lane(unsigned shard_idx, const serve::PipelineConfig &pipeline,
          Algo algo, DatasetId dataset, std::size_t pool_size,
          const GpuConfig &gpu, Cycle launch_overhead,
-         serve::BatchTraceEmitter emitter)
-        : shard(shard_idx), pipe(pipeline, algo, dataset, pool_size),
+         serve::BatchTraceEmitter emitter, ScheduleRecorder recorder)
+        : shard(shard_idx),
+          pipe(pipeline, algo, dataset, pool_size, recorder),
           exec(gpu, launch_overhead, pipeline.degrade.degradedKnobs,
-               std::move(emitter))
+               std::move(emitter), recorder)
     {
     }
 
@@ -104,12 +105,21 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
 
     ThreadPool pool(cfg_.jobs);
 
+    // Schedule auditing: router-side decisions (routing, hops, joins,
+    // the router cache) record under kRouterLane; each lane records
+    // under its own index. Everything records from this event-loop
+    // thread, so the log is bit-identical for any job count.
+    const ScheduleRecorder routerRec(cfg_.scheduleLog, kRouterLane);
+    const Cycle mergePerShard = cfg_.mergeCyclesPerShard;
+    routerRec.record(0, ScheduleEventKind::ClusterConfig, scatterHop,
+                     gatherHop, mergePerShard);
+
     // The answer cache sits at the router; lane pipelines run with
     // caching off so one request is cached once, not per shard.
     serve::PipelineConfig laneCfg = cfg_.pipeline;
     laneCfg.cache.capacity = 0;
     serve::AnswerCache cache(cfg_.pipeline.cache, algo_, dataset_,
-                             cfg_.queryPoolSize);
+                             cfg_.queryPoolSize, routerRec);
 
     std::vector<Lane> lanes;
     lanes.reserve(static_cast<std::size_t>(cfg_.numShards) *
@@ -125,9 +135,13 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
                                            ids, pool_size, knobs);
             };
         for (unsigned r = 0; r < cfg_.replicasPerShard; ++r) {
+            const ScheduleRecorder laneRec(
+                cfg_.scheduleLog,
+                static_cast<std::uint32_t>(lanes.size()));
             lanes.emplace_back(s, laneCfg, algo_, dataset_,
                                cfg_.queryPoolSize, cfg_.gpu,
-                               cfg_.launchOverheadCycles, emitter);
+                               cfg_.launchOverheadCycles, emitter,
+                               laneRec);
         }
     }
     std::vector<std::size_t> rrNext(cfg_.numShards, 0);
@@ -165,19 +179,24 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
     // merge is charged per contributing shard answer; a request whose
     // every sub-query was shed never produced an answer. Full answers
     // fill the router cache (degraded ones only when configured).
-    auto finalize = [&](const Join &join) {
+    auto finalize = [&](std::uint64_t id, const Join &join) {
         if (join.served == 0) {
             report.shedRequests += 1;
+            routerRec.record(0, ScheduleEventKind::JoinDone, id,
+                             join.served, join.shed);
             return;
         }
+        const Cycle done =
+            join.readyMax +
+            mergePerShard * static_cast<Cycle>(join.served);
         if (join.shed > 0) {
             report.partialAnswers += 1;
         } else if (!join.degraded || cfg_.pipeline.cache.cacheDegraded) {
-            cache.insert(join.queryId);
+            cache.insert(join.queryId, done);
         }
-        complete(join.arrivalCycle,
-                 join.readyMax + cfg_.mergeCyclesPerShard *
-                                     static_cast<Cycle>(join.served));
+        routerRec.record(done, ScheduleEventKind::JoinDone, id,
+                         join.served, join.shed);
+        complete(join.arrivalCycle, done);
     };
 
     auto subquery_resolved = [&](std::uint64_t id, bool served,
@@ -194,9 +213,10 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
             join.readyMax = std::max(join.readyMax, ready);
         } else {
             join.shed += 1;
+            routerRec.record(now, ScheduleEventKind::SubShed, id);
         }
         if (join.remaining == 0) {
-            finalize(join);
+            finalize(id, join);
             inflight.erase(it);
         }
     };
@@ -267,12 +287,18 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
         // Completions first (frees lanes and bounds queues), in lane
         // order for a deterministic join/histogram fill. Each
         // sub-answer crosses the gather hop before it can merge.
-        for (Lane &lane : lanes) {
+        for (std::size_t li = 0; li < lanes.size(); ++li) {
+            Lane &lane = lanes[li];
             if (!lane.exec.busy() || lane.exec.readyCycle() > now)
                 continue;
+            const Cycle laneReady = lane.exec.readyCycle();
+            const ScheduleRecorder gatherRec(
+                cfg_.scheduleLog, static_cast<std::uint32_t>(li));
             for (const serve::Request &r : lane.exec.batch()) {
-                subquery_resolved(r.id, true,
-                                  lane.exec.readyCycle() + gatherHop,
+                gatherRec.record(laneReady, ScheduleEventKind::Gather,
+                                 r.id, laneReady,
+                                 laneReady + gatherHop);
+                subquery_resolved(r.id, true, laneReady + gatherHop,
                                   lane.exec.degraded());
             }
             lane.exec.finish();
@@ -295,7 +321,7 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
             const serve::Request &req = requests[nextArrival++];
             hsu_assert(req.queryId < cfg_.queryPoolSize,
                        "request query id outside the serving pool");
-            if (cache.lookup(req.queryId)) {
+            if (cache.lookup(req.queryId, req.arrivalCycle)) {
                 complete(req.arrivalCycle,
                          req.arrivalCycle +
                              cfg_.pipeline.cache.hitLatencyCycles);
@@ -303,6 +329,9 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
             }
             const std::vector<std::uint32_t> targets = routeQuery(
                 algo_, part, req.queryId, cfg_.queryPoolSize);
+            routerRec.record(req.arrivalCycle,
+                             ScheduleEventKind::RouterRoute, req.id,
+                             req.queryId, targets.size());
             report.fanout.add(static_cast<double>(targets.size()));
             report.subqueries += targets.size();
             if (targets.empty()) {
@@ -338,6 +367,9 @@ ClusterServer::run(const std::vector<serve::Request> &requests)
                 }
                 const ScatterMsg msg{req.arrivalCycle + scatterHop,
                                      lane_idx, req};
+                routerRec.record(req.arrivalCycle,
+                                 ScheduleEventKind::Scatter, req.id,
+                                 lane_idx, msg.deliverCycle);
                 if (msg.deliverCycle <= now)
                     deliver(msg);
                 else

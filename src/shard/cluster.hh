@@ -107,6 +107,11 @@ struct ClusterConfig
     std::uint64_t gatherBytes = 128;
     /** Simulation worker threads; 0 -> HSU_JOBS / hardware. */
     unsigned jobs = 0;
+    /** Optional schedule-audit sink (analysis/schedule_log): lane
+     *  events record under the lane's index, router events (routing,
+     *  scatter/gather hops, joins, the router answer cache) under
+     *  kRouterLane. Null disables recording; must outlive the run. */
+    ScheduleLog *scheduleLog = nullptr;
 };
 
 /** Per-shard slice of a cluster run (replicas aggregated). */

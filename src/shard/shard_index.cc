@@ -182,11 +182,10 @@ routeQuery(Algo algo, const Partitioning &partitioning,
     hsu_panic("unknown algo");
 }
 
-std::shared_ptr<const KernelTrace>
-emitShardBatchTrace(Algo algo, const ShardKey &key,
-                    KernelVariant variant, const DatapathConfig &dp,
-                    const std::vector<std::uint32_t> &query_ids,
-                    std::size_t pool_size, const ServeKnobs &knobs)
+SemKernelTrace
+emitShardBatchSem(Algo algo, const ShardKey &key,
+                  const std::vector<std::uint32_t> &query_ids,
+                  std::size_t pool_size, const ServeKnobs &knobs)
 {
     hsu_assert(!query_ids.empty(), "empty shard batch");
     const ShardIndex &idx =
@@ -205,36 +204,44 @@ emitShardBatchTrace(Algo algo, const ShardKey &key,
         return batch;
     };
 
-    SemKernelTrace sem = [&]() -> SemKernelTrace {
-        switch (algo) {
-          case Algo::Ggnn: {
-            if (knobs == ServeKnobs{})
-                return idx.ggnn->emit(gather_points()).sem;
-            GgnnConfig cfg;
-            cfg.ef = knobs.ggnnEf;
-            cfg.k = knobs.ggnnK;
-            const GgnnKernel kernel(*idx.graph, cfg);
-            return kernel.emit(gather_points()).sem;
-          }
-          case Algo::Flann:
-            return idx.flann->emit(gather_points()).sem;
-          case Algo::Bvhnn:
-            return idx.bvhnn->emit(gather_points()).sem;
-          case Algo::Btree: {
-            const std::vector<std::uint32_t> &pool =
-                serveQueryKeys(key.dataset, pool_size);
-            std::vector<std::uint32_t> batch;
-            batch.reserve(query_ids.size());
-            for (const std::uint32_t q : query_ids) {
-                hsu_assert(q < pool.size(),
-                           "shard query id out of pool: ", q);
-                batch.push_back(pool[q]);
-            }
-            return idx.btreeKernel->emit(batch).sem;
-          }
+    switch (algo) {
+      case Algo::Ggnn: {
+        if (knobs == ServeKnobs{})
+            return idx.ggnn->emit(gather_points()).sem;
+        GgnnConfig cfg;
+        cfg.ef = knobs.ggnnEf;
+        cfg.k = knobs.ggnnK;
+        const GgnnKernel kernel(*idx.graph, cfg);
+        return kernel.emit(gather_points()).sem;
+      }
+      case Algo::Flann:
+        return idx.flann->emit(gather_points()).sem;
+      case Algo::Bvhnn:
+        return idx.bvhnn->emit(gather_points()).sem;
+      case Algo::Btree: {
+        const std::vector<std::uint32_t> &pool =
+            serveQueryKeys(key.dataset, pool_size);
+        std::vector<std::uint32_t> batch;
+        batch.reserve(query_ids.size());
+        for (const std::uint32_t q : query_ids) {
+            hsu_assert(q < pool.size(),
+                       "shard query id out of pool: ", q);
+            batch.push_back(pool[q]);
         }
-        hsu_panic("unknown algo");
-    }();
+        return idx.btreeKernel->emit(batch).sem;
+      }
+    }
+    hsu_panic("unknown algo");
+}
+
+std::shared_ptr<const KernelTrace>
+emitShardBatchTrace(Algo algo, const ShardKey &key,
+                    KernelVariant variant, const DatapathConfig &dp,
+                    const std::vector<std::uint32_t> &query_ids,
+                    std::size_t pool_size, const ServeKnobs &knobs)
+{
+    const SemKernelTrace sem =
+        emitShardBatchSem(algo, key, query_ids, pool_size, knobs);
     maybeLintEmission(sem, algo);
     return std::make_shared<const KernelTrace>(
         lowerTrace(sem, loweringFor(variant, dp)));

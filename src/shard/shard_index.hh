@@ -130,6 +130,18 @@ std::vector<std::uint32_t> routeQuery(Algo algo,
                                       std::size_t pool_size);
 
 /**
+ * Emit the semantic trace of one dynamic batch against one shard's
+ * sub-index — the emission half of emitShardBatchTrace, exposed so
+ * the trace linter (tools/trace_lint) can audit shard emissions in
+ * release builds too. Pure function of its arguments.
+ */
+SemKernelTrace
+emitShardBatchSem(Algo algo, const ShardKey &key,
+                  const std::vector<std::uint32_t> &query_ids,
+                  std::size_t pool_size,
+                  const ServeKnobs &knobs = ServeKnobs{});
+
+/**
  * Emit + lower the trace of one dynamic batch against one shard's
  * sub-index — the sharded counterpart of search/runner's
  * emitBatchTrace, same emit-once/lower-many pipeline and the same

@@ -33,6 +33,7 @@ bool
 processNoSkipDefault()
 {
     static const bool v = [] {
+        // audit[env-read]: read once per process (see file comment)
         const char *e = std::getenv("HSU_NO_SKIP");
         return e != nullptr && e[0] != '\0' && e[0] != '0';
     }();
@@ -43,6 +44,7 @@ unsigned
 processSimJobsDefault()
 {
     static const unsigned v = [] {
+        // audit[env-read]: read once per process (see file comment)
         if (const char *env = std::getenv("HSU_SIM_JOBS")) {
             char *end = nullptr;
             const long n = std::strtol(env, &end, 10);

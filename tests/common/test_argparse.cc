@@ -115,6 +115,7 @@ TEST(ArgParser, CommandLineOverridesEnvAndWritesBack)
     EXPECT_TRUE(parseArgs(args, {"--no-quick"}));
     EXPECT_FALSE(quick);
     // Downstream getenv() plumbing must observe the parsed value.
+    // audit[env-read]: asserting on the write-back is the test's point.
     const char *after = getenv("HSU_TEST_ARGPARSE_Q");
     EXPECT_TRUE(after == nullptr || std::string(after) == "0")
         << "env left as '" << (after ? after : "(unset)") << "'";
@@ -133,6 +134,7 @@ TEST(ArgParser, EnvOptDefaultOverrideAndWriteBack)
     args2.envOpt(jobs, "jobs", "HSU_TEST_ARGPARSE_J", "workers");
     EXPECT_TRUE(parseArgs(args2, {"--jobs", "8"}));
     EXPECT_EQ(jobs, 8u);
+    // audit[env-read]: asserting on the write-back is the test's point.
     const char *after = getenv("HSU_TEST_ARGPARSE_J");
     ASSERT_NE(after, nullptr);
     EXPECT_EQ(std::string(after), "8");
@@ -151,6 +153,7 @@ TEST(ArgParser, EnvStringOptDefaultOverrideAndWriteBack)
     args2.envOpt(policy, "policy", "HSU_TEST_ARGPARSE_P", "batch order");
     EXPECT_TRUE(parseArgs(args2, {"--policy=fifo"}));
     EXPECT_EQ(policy, "fifo");
+    // audit[env-read]: asserting on the write-back is the test's point.
     const char *after = getenv("HSU_TEST_ARGPARSE_P");
     ASSERT_NE(after, nullptr);
     EXPECT_EQ(std::string(after), "fifo");

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Property sweep over the partitioner: for every golden dataset
+ * family x partition policy x shard count N in {1,2,4,8}, the shard
+ * slices must be disjoint and cover the dataset (checked through the
+ * SH001 fixed-function auditor so the CLI and tests share one
+ * oracle), and populations must stay balanced — exactly for spatial
+ * slices, within a hash-quality band for hashed ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/schedule_lint.hh"
+#include "shard/partition.hh"
+
+namespace hsu::shard
+{
+namespace
+{
+
+const DatasetId kDatasets[] = {DatasetId::Sift10k, DatasetId::Bunny,
+                               DatasetId::Random10k,
+                               DatasetId::BTree10k};
+const PartitionPolicy kPolicies[] = {PartitionPolicy::Spatial,
+                                     PartitionPolicy::Hash};
+const unsigned kShardCounts[] = {1, 2, 4, 8};
+
+std::string
+caseName(DatasetId id, PartitionPolicy policy, unsigned n)
+{
+    return datasetInfo(id).abbr + "/" + toString(policy) + "/n" +
+           std::to_string(n);
+}
+
+std::vector<std::vector<std::uint32_t>>
+sliceIds(const Partitioning &part)
+{
+    std::vector<std::vector<std::uint32_t>> ids;
+    ids.reserve(part.shards.size());
+    for (const ShardSlice &slice : part.shards)
+        ids.push_back(slice.ids);
+    return ids;
+}
+
+TEST(PartitionProperty, EverySliceSetIsADisjointCover)
+{
+    for (const DatasetId id : kDatasets) {
+        for (const PartitionPolicy policy : kPolicies) {
+            for (const unsigned n : kShardCounts) {
+                const Partitioning part =
+                    partitionDataset(id, policy, n);
+                const LintReport report = lintPartitionCoverage(
+                    sliceIds(part), part.totalElements());
+                EXPECT_TRUE(report.clean())
+                    << caseName(id, policy, n) << ":\n"
+                    << report.str();
+            }
+        }
+    }
+}
+
+TEST(PartitionProperty, SpatialPopulationsBalanceExactly)
+{
+    // Spatial slices are contiguous runs of the sorted order: shard
+    // populations may differ by at most one element.
+    for (const DatasetId id : kDatasets) {
+        for (const unsigned n : kShardCounts) {
+            const Partitioning part =
+                partitionDataset(id, PartitionPolicy::Spatial, n);
+            std::size_t lo = part.shards[0].ids.size();
+            std::size_t hi = lo;
+            for (const ShardSlice &slice : part.shards) {
+                lo = std::min(lo, slice.ids.size());
+                hi = std::max(hi, slice.ids.size());
+            }
+            EXPECT_LE(hi - lo, 1u)
+                << caseName(id, PartitionPolicy::Spatial, n);
+        }
+    }
+}
+
+TEST(PartitionProperty, HashPopulationsBalanceStatistically)
+{
+    // A content hash over 1k+ elements should land every shard within
+    // a generous band around the mean — a systematic skew here means
+    // the hash is correlated with the id/key distribution.
+    for (const DatasetId id : kDatasets) {
+        for (const unsigned n : kShardCounts) {
+            const Partitioning part =
+                partitionDataset(id, PartitionPolicy::Hash, n);
+            const double mean =
+                static_cast<double>(part.totalElements()) /
+                static_cast<double>(n);
+            for (const ShardSlice &slice : part.shards) {
+                EXPECT_GT(static_cast<double>(slice.ids.size()),
+                          0.7 * mean)
+                    << caseName(id, PartitionPolicy::Hash, n);
+                EXPECT_LT(static_cast<double>(slice.ids.size()),
+                          1.3 * mean)
+                    << caseName(id, PartitionPolicy::Hash, n);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace hsu::shard

@@ -12,6 +12,7 @@ error-reporting discipline:
   HL002 unordered-iteration  naked range-for over unordered containers
   HL003 naked-assert         C assert()/abort() instead of hsu_assert
   HL004 stray-stdio          iostream/printf output from library code
+  HL005 env-read             naked std::getenv outside ArgParser
 
 Suppression: a finding is waived by an audit annotation on the same
 line or the line above, naming the rule and a justification:
@@ -193,6 +194,32 @@ def check_stray_stdio(path, lines, tags, findings):
             "HL004", path, i,
             "direct console output from library code: use hsu_inform/"
             "hsu_warn, or return the text and print from the binary"))
+
+
+GETENV_RE = re.compile(r"(?<![_\w])(?:std::)?getenv\s*\(")
+# ArgParser's envFlag/envOpt implementation is the sanctioned reader:
+# it surfaces every environment knob in --help and records the value.
+ENV_HOME = {Path("src/common/argparse.cc")}
+
+
+@rule("HL005", "env-read",
+      "environment knobs are declared through ArgParser::envFlag/"
+      "envOpt (visible in --help, auditable); naked std::getenv sites "
+      "hide configuration and must justify themselves")
+def check_env_read(path, lines, tags, findings):
+    if path in ENV_HOME:
+        return
+    for i, line in enumerate(lines, start=1):
+        code = strip_comment(line)
+        if not GETENV_RE.search(code):
+            continue
+        if waived(tags, i, "env-read"):
+            continue
+        findings.append(Finding(
+            "HL005", path, i,
+            "naked std::getenv: declare the knob via "
+            "ArgParser::envFlag/envOpt, or annotate the site with why "
+            "it must read the environment directly"))
 
 
 def strip_comment(line):

@@ -2,7 +2,9 @@
  * @file
  * trace_lint: run the static trace/IR linter (analysis/trace_lint.hh)
  * over the five search kernels' semantic emissions and their
- * Baseline / Hsu / PartialOffload lowerings.
+ * Baseline / Hsu / PartialOffload lowerings, plus the sharded
+ * sub-index emissions (shard/shard_index emitShardBatchSem) that
+ * otherwise only get linted in debug/HSU_AUDIT builds.
  *
  * Exit status: 0 when every selected workload lints clean of errors,
  * 1 otherwise (warnings are printed but non-fatal). `--rules` prints
@@ -22,6 +24,7 @@
 #include "search/flann.hh"
 #include "search/ggnn.hh"
 #include "search/rtindex.hh"
+#include "shard/shard_index.hh"
 #include "structures/btree.hh"
 #include "structures/graph.hh"
 #include "structures/kdtree.hh"
@@ -113,6 +116,43 @@ buildWorkloads(const std::string &algo, bool quick)
         const BtreeKernel k(tree);
         out.push_back({"btree", k.emit(probes).sem});
     }
+    if (all || algo == "shard") {
+        // Golden serving datasets, one per kernel family, emitted
+        // against a 2-way shard sub-index under both partition
+        // policies — release-build coverage of emitShardBatchSem
+        // (the lane emitters' emission path).
+        struct ShardCase
+        {
+            const char *name;
+            Algo algo;
+            DatasetId dataset;
+        };
+        const ShardCase cases[] = {
+            {"shard-ggnn", Algo::Ggnn, DatasetId::Sift10k},
+            {"shard-flann", Algo::Flann, DatasetId::Bunny},
+            {"shard-bvhnn", Algo::Bvhnn, DatasetId::Random10k},
+            {"shard-btree", Algo::Btree, DatasetId::BTree10k},
+        };
+        const std::size_t pool_size = 256;
+        std::vector<std::uint32_t> ids;
+        for (std::uint32_t q = 0; q < scale(48); ++q)
+            ids.push_back((q * 7) % pool_size);
+        for (const ShardCase &c : cases) {
+            for (const shard::PartitionPolicy policy :
+                 {shard::PartitionPolicy::Spatial,
+                  shard::PartitionPolicy::Hash}) {
+                const shard::ShardKey key{c.dataset, policy, 2, 0};
+                const std::string name =
+                    std::string(c.name) +
+                    (policy == shard::PartitionPolicy::Spatial
+                         ? "-spatial"
+                         : "-hash");
+                out.push_back(
+                    {name, shard::emitShardBatchSem(c.algo, key, ids,
+                                                    pool_size)});
+            }
+        }
+    }
     if (all || algo == "rtindex") {
         Rng rng(34);
         std::vector<std::uint32_t> keys;
@@ -160,7 +200,8 @@ main(int argc, char **argv)
     args.envFlag(quick, "quick", "HSU_QUICK",
                  "quarter-size workloads (CI smoke)");
     args.flag(rules, "rules", "print the rule catalog and exit");
-    args.opt(algo, "algo", "ggnn|flann|bvhnn|btree|rtindex|all");
+    args.opt(algo, "algo",
+             "ggnn|flann|bvhnn|btree|rtindex|shard|all");
     args.opt(fraction, "fraction",
              "PartialOffload fraction audited alongside the endpoints");
     if (!args.parse(argc, argv))
